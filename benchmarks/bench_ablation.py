@@ -1,0 +1,105 @@
+"""Ablations of the implementation's key design choices.
+
+The paper motivates three mechanisms qualitatively; these benches measure
+each one by turning it off:
+
+* **XI stiff-arming** (section III.C): rejecting conflicting XIs "is very
+  efficient in highly contended transactions". Ablation: a reject
+  threshold of 1 (abort on the first conflicting XI).
+* **Speculative fetching**: over-marks the read set; constrained-tx
+  millicode disables it under contention. Ablation: speculation off for
+  everyone.
+* **The LRU extension** is ablated by Figure 5(f) itself
+  (see bench_fig5f.py).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.bench.figures import UpdateExperiment, run_update_experiment
+from repro.params import ZEC12
+
+N_CPUS = 12
+#: Moderate contention: transactions usually finish within a reject or
+#: two, which is exactly where stiff-arming pays off. (Under *extreme*
+#: contention — pool 10 — cyclic waits dominate and fast aborting is
+#: competitive, which is why the abort threshold exists at all.)
+POOL = 100
+ITERATIONS = 20
+
+
+def _throughput(params):
+    # Four-variable transactions hold lines while fetching the rest, so
+    # conflicting XIs actually reach open transactions (single-variable
+    # transactions close before the next fetch can arrive).
+    result = run_update_experiment(
+        UpdateExperiment("tbegin", n_cpus=N_CPUS, pool_size=POOL,
+                         n_vars=4, iterations=ITERATIONS),
+        params,
+    )
+    return result.throughput, result.abort_rate
+
+
+def test_stiff_arm_ablation(benchmark):
+    """Without stiff-arming, contended short transactions abort instead
+    of letting the holder finish — throughput drops, aborts explode."""
+    no_stiff_arm = dataclasses.replace(
+        ZEC12, tx=dataclasses.replace(ZEC12.tx, xi_reject_threshold=1)
+    )
+    (base_thr, base_aborts), (ablated_thr, ablated_aborts) = benchmark.pedantic(
+        lambda: (_throughput(ZEC12), _throughput(no_stiff_arm)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(f"stiff-arm on : thr={base_thr * 1000:8.2f} aborts={base_aborts:.1%}")
+    print(f"stiff-arm off: thr={ablated_thr * 1000:8.2f} "
+          f"aborts={ablated_aborts:.1%}")
+    assert ablated_aborts > base_aborts
+    assert base_thr > ablated_thr
+    benchmark.extra_info["throughput_ratio"] = base_thr / ablated_thr
+
+
+def test_speculation_ablation(benchmark):
+    """Speculative next-line prefetch over-marks the transactional read
+    footprint ("aborts caused by speculative accesses to data that the
+    transaction is not actually using"). The robust, deterministic effect
+    is the footprint inflation itself; the throughput/abort deltas at
+    extreme contention are noisy, so they are reported, not asserted.
+    This is the mechanism constrained-transaction millicode disables
+    (Figure 5(c)); the millicode path is asserted in the test suite."""
+    no_speculation = dataclasses.replace(ZEC12, speculation=False)
+
+    def run_pair():
+        import repro.sim.machine as machine_mod
+        from repro.workloads.layout import PoolLayout
+        from repro.workloads.pool import build_update_program
+
+        def run_counting(params):
+            machine = machine_mod.Machine(params.with_cpus(24))
+            program = build_update_program(
+                "tbegin", PoolLayout(10), n_vars=4, iterations=15
+            )
+            for _ in range(24):
+                machine.add_program(program)
+            result = machine.run()
+            prefetches = sum(e.stats_prefetches for e in machine.engines)
+            return result, prefetches
+
+        return run_counting(ZEC12), run_counting(no_speculation)
+
+    (spec, spec_pref), (nospec, nospec_pref) = benchmark.pedantic(
+        run_pair, rounds=1, iterations=1
+    )
+    print()
+    print(f"speculation on : prefetches={spec_pref} "
+          f"aborts={spec.abort_rate:.1%} thr={spec.throughput * 1000:.2f}")
+    print(f"speculation off: prefetches={nospec_pref} "
+          f"aborts={nospec.abort_rate:.1%} thr={nospec.throughput * 1000:.2f}")
+    # The footprint over-marking exists exactly when speculation is on.
+    assert spec_pref > 0
+    assert nospec_pref == 0
+    benchmark.extra_info["prefetches_with"] = spec_pref
+    benchmark.extra_info["abort_rate_with"] = spec.abort_rate
+    benchmark.extra_info["abort_rate_without"] = nospec.abort_rate

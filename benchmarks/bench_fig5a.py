@@ -1,0 +1,59 @@
+"""Figure 5(a): transactions vs a coarse lock, four random variables,
+pool sizes 1k and 10k.
+
+Paper shape: coarse-grained locking yields very poor throughput as CPUs
+grow (with step functions at the chip and MCM boundaries); transactions
+scale very well; with the 1k pool the TBEGIN curve drops steeply after a
+contention threshold "but still exceeds the locking performance".
+"""
+
+from __future__ import annotations
+
+from conftest import series_by_scheme
+
+from repro.bench.figures import format_sweep, sweep
+
+CPU_GRID = (2, 6, 12, 24, 48)
+ITERATIONS = 15
+
+
+def _run(pool_size: int):
+    return sweep(
+        ["coarse", "tbegin", "tbeginc"],
+        CPU_GRID,
+        pool_size=pool_size,
+        n_vars=4,
+        iterations=ITERATIONS,
+    )
+
+
+def test_fig5a_pool_10k(benchmark):
+    points = benchmark.pedantic(lambda: _run(10_000), rounds=1, iterations=1)
+    print()
+    print(format_sweep(points, "Figure 5(a), pool 10k, 4 variables"))
+    table = series_by_scheme(points)
+    coarse, tbegin, tbeginc = table["coarse"], table["tbegin"], table["tbeginc"]
+    # Transactions scale very well; the coarse lock does not.
+    assert tbegin[48] > tbegin[2] * 4
+    assert tbeginc[48] > tbeginc[2] * 4
+    assert coarse[48] < coarse[2] * 3
+    # Transactions beat the coarse lock decisively at scale.
+    assert tbegin[24] > coarse[24] * 2
+    assert tbeginc[48] > coarse[48] * 2
+    benchmark.extra_info["series"] = {
+        scheme: dict(values) for scheme, values in table.items()
+    }
+
+
+def test_fig5a_pool_1k(benchmark):
+    points = benchmark.pedantic(lambda: _run(1_000), rounds=1, iterations=1)
+    print()
+    print(format_sweep(points, "Figure 5(a), pool 1k, 4 variables"))
+    table = series_by_scheme(points)
+    coarse, tbegin = table["coarse"], table["tbegin"]
+    # Higher contention than 10k, but transactions still exceed the lock.
+    assert tbegin[24] > coarse[24]
+    assert table["tbeginc"][48] > coarse[48]
+    benchmark.extra_info["series"] = {
+        scheme: dict(values) for scheme, values in table.items()
+    }

@@ -1,0 +1,56 @@
+"""Figure 5(b): single-variable updates from a pool of 10.
+
+Paper shape: coarse-grained locks yield very poor throughput; fine-grained
+locks are better but do not grow much and decline at higher CPU counts;
+transactions grow up to 24 CPUs (the MCM node of the tested system), hold
+roughly steady beyond, and out-perform locks across the entire CPU range.
+"""
+
+from __future__ import annotations
+
+from conftest import series_by_scheme
+
+from repro.bench.figures import format_sweep, sweep
+
+CPU_GRID = (2, 6, 12, 24, 48)
+ITERATIONS = 20
+
+
+def test_fig5b(benchmark):
+    points = benchmark.pedantic(
+        lambda: sweep(
+            ["coarse", "fine", "tbegin", "tbeginc"],
+            CPU_GRID,
+            pool_size=10,
+            n_vars=1,
+            iterations=ITERATIONS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_sweep(points, "Figure 5(b), pool 10, 1 variable"))
+    table = series_by_scheme(points)
+    coarse, fine = table["coarse"], table["fine"]
+    tbegin, tbeginc = table["tbegin"], table["tbeginc"]
+
+    # Coarse locking: very poor throughput, no scaling.
+    assert max(coarse.values()) < min(tbegin.values()) * 2
+    assert coarse[48] < coarse[2] * 2
+    # Fine-grained locks are better than coarse but saturate.
+    assert fine[24] > coarse[24]
+    assert fine[48] < fine[24] * 1.3
+    # Transactions grow up to the 24-CPU MCM node...
+    assert tbegin[24] > tbegin[6] * 1.2
+    assert tbeginc[24] > tbeginc[6] * 1.2
+    # ...hold steady beyond (no collapse)...
+    assert tbegin[48] > tbegin[24] * 0.6
+    assert tbeginc[48] > tbeginc[24] * 0.6
+    # ...and out-perform both lock schemes across the entire range.
+    for n in CPU_GRID:
+        assert tbegin[n] > coarse[n]
+        assert tbeginc[n] > coarse[n]
+        assert tbegin[n] > fine[n] * 0.95
+    benchmark.extra_info["series"] = {
+        scheme: dict(values) for scheme, values in table.items()
+    }

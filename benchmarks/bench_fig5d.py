@@ -1,0 +1,48 @@
+"""Figure 5(d): reading four variables from a 10k pool — read/write lock
+vs constrained transactions.
+
+Paper shape: the read/write lock's read-count update transfers the
+lock-word between CPUs on every enter/leave, which "limits the throughput
+significantly"; transactions only need to *read* the lock state, so all
+CPUs share the cache lines and throughput improves almost linearly with
+the number of CPUs.
+"""
+
+from __future__ import annotations
+
+from conftest import series_by_scheme
+
+from repro.bench.figures import format_sweep, sweep
+
+CPU_GRID = (2, 6, 12, 24, 48)
+ITERATIONS = 15
+
+
+def test_fig5d(benchmark):
+    points = benchmark.pedantic(
+        lambda: sweep(
+            ["rwlock", "tbeginc-read"],
+            CPU_GRID,
+            pool_size=10_000,
+            n_vars=4,
+            iterations=ITERATIONS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_sweep(points, "Figure 5(d), pool 10k, 4 variables read"))
+    table = series_by_scheme(points)
+    rwlock, tx = table["rwlock"], table["tbeginc-read"]
+
+    # The read/write lock saturates: the lock word bounces between CPUs.
+    assert rwlock[48] < rwlock[12] * 2
+    # Transactions scale almost linearly with the number of CPUs.
+    assert tx[24] > tx[2] * 8
+    assert tx[48] > tx[24] * 1.5
+    # And decisively beat the read/write lock at scale.
+    assert tx[24] > rwlock[24] * 2
+    assert tx[48] > rwlock[48] * 4
+    benchmark.extra_info["series"] = {
+        scheme: dict(values) for scheme, values in table.items()
+    }

@@ -1,0 +1,48 @@
+"""Figure 5(e): lock-elided hashtable.
+
+Paper shape: with the global ("synchronized") lock the performance is
+flat as threads are added; with transactional lock elision it grows
+almost linearly with the number of threads.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.hashtable import (
+    HashtableExperiment,
+    run_hashtable_experiment,
+)
+
+THREADS = (1, 2, 4, 8)
+OPERATIONS = 40
+
+
+def _series(elide: bool):
+    series = {}
+    for n in THREADS:
+        result = run_hashtable_experiment(
+            HashtableExperiment(n, elide=elide, operations=OPERATIONS)
+        )
+        series[n] = result.throughput
+    return series
+
+
+def test_fig5e(benchmark):
+    locked, elided = benchmark.pedantic(
+        lambda: (_series(False), _series(True)), rounds=1, iterations=1
+    )
+    print()
+    print(f"{'threads':>8} {'locks':>10} {'transactions':>13}")
+    for n in THREADS:
+        print(f"{n:>8} {locked[n]*1000:>10.2f} {elided[n]*1000:>13.2f}")
+
+    # Locks: flat scaling (the paper's lock curve barely moves 1 -> 8).
+    assert locked[8] < locked[1] * 2.5
+    # Transactions: almost linear growth with the number of threads.
+    assert elided[8] > elided[1] * 5
+    assert elided[4] > elided[1] * 2.5
+    # Transactions win decisively at 8 threads.
+    assert elided[8] > locked[8] * 3
+    benchmark.extra_info["locks"] = {n: locked[n] * 1000 for n in THREADS}
+    benchmark.extra_info["transactions"] = {
+        n: elided[n] * 1000 for n in THREADS
+    }

@@ -1,0 +1,46 @@
+"""Figure 5(f): effect of the LRU extension on the fetch footprint.
+
+Paper shape: the statistical abort rate from associativity conflicts with
+n random congruence-class accesses rises much earlier without the LRU
+extension (footprint limited by the 64x6 L1) than with it (footprint
+limited by the 512x8 L2); by a few hundred lines the no-extension
+configuration aborts essentially always, while the extension keeps the
+rate low out to 800 lines.
+"""
+
+from __future__ import annotations
+
+from repro.bench.lru import footprint_abort_rate, format_series, footprint_series
+
+LINE_COUNTS = (100, 200, 300, 400, 600, 800)
+TRIALS = 30
+
+
+def test_fig5f(benchmark):
+    without, with_ext = benchmark.pedantic(
+        lambda: (
+            footprint_series(LINE_COUNTS, lru_extension=False, trials=TRIALS),
+            footprint_series(LINE_COUNTS, lru_extension=True, trials=TRIALS),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_series(without, with_ext))
+    off = {p.accessed_lines: p.abort_rate for p in without}
+    on = {p.accessed_lines: p.abort_rate for p in with_ext}
+
+    # Without the extension the footprint is bounded by the L1 (384
+    # lines): pigeonhole guarantees aborts at 400+ accesses, and random
+    # row collisions already hurt well before that.
+    assert off[400] == 1.0
+    assert off[800] == 1.0
+    assert off[300] > 0.5
+    # With the extension the same transaction sizes almost never abort.
+    assert on[400] < 0.2
+    assert on[300] < 0.1
+    # The extension strictly dominates at every size.
+    for n in LINE_COUNTS:
+        assert on[n] <= off[n]
+    benchmark.extra_info["no_extension"] = off
+    benchmark.extra_info["with_extension"] = on

@@ -1,0 +1,33 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Each ``bench_*`` file regenerates one panel of the paper's Figure 5 (or an
+in-text result) on a reduced grid, prints the series a plot would show,
+and asserts the *shape* the paper reports — who wins, by roughly what
+factor, and where the crossovers fall. Absolute cycle counts are simulator
+artifacts and are not asserted.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import baseline_throughput
+from repro.params import ZEC12
+
+
+@pytest.fixture(scope="session")
+def baseline() -> float:
+    """Raw throughput of the paper's normalisation point (cached)."""
+    return baseline_throughput(ZEC12, iterations=50)
+
+
+def series_by_scheme(points):
+    """Group sweep points into {scheme: {n_cpus: throughput}}."""
+    table = {}
+    for p in points:
+        table.setdefault(p.scheme, {})[p.n_cpus] = p.throughput
+    return table

@@ -1,0 +1,127 @@
+"""Generate the full Figure 5 series (all panels) and print them.
+
+This is the long-form companion to the pytest benches: it sweeps the full
+CPU grid of the paper (2..100) and prints every series, suitable for
+regenerating EXPERIMENTS.md. Runtime is dominated by the ~100-CPU points.
+
+Run with::
+
+    python benchmarks/run_figures.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.figures import (
+    DEFAULT_CPU_GRID,
+    QUICK_CPU_GRID,
+    format_sweep,
+    sweep,
+)
+from repro.bench.report import render_chart, series_from_points
+from repro.bench.lru import (
+    footprint_series,
+    format_series,
+)
+from repro.bench.figures import UpdateExperiment, run_update_experiment
+from repro.workloads.hashtable import (
+    HashtableExperiment,
+    run_hashtable_experiment,
+)
+from repro.workloads.queue import QueueExperiment, run_queue_experiment
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced CPU grid and iteration counts")
+    args = parser.parse_args()
+
+    grid = QUICK_CPU_GRID if args.quick else DEFAULT_CPU_GRID
+    iters = 15 if args.quick else 25
+    t0 = time.time()
+
+    banner("Figure 5(a): 4 random variables, pools 1k and 10k")
+    for pool in (1_000, 10_000):
+        points = sweep(["coarse", "tbegin", "tbeginc"], grid, pool, 4,
+                       iterations=iters)
+        print(format_sweep(points, f"pool {pool}"))
+
+    banner("Figure 5(b): 1 variable, pool 10")
+    points = sweep(["coarse", "fine", "tbegin", "tbeginc"], grid, 10, 1,
+                   iterations=iters)
+    print(format_sweep(points))
+    print()
+    print(render_chart(series_from_points(points),
+                       title="Figure 5(b) (log-log, like the paper)"))
+
+    banner("Figure 5(c): 4 variables, pool 10 (extreme contention)")
+    points = sweep(["coarse", "tbegin", "tbeginc"], grid, 10, 4,
+                   iterations=iters)
+    print(format_sweep(points))
+
+    banner("Figure 5(d): 4 variables read, pool 10k")
+    points = sweep(["rwlock", "tbeginc-read"], grid, 10_000, 4,
+                   iterations=iters)
+    print(format_sweep(points))
+
+    banner("Figure 5(e): lock-elided hashtable")
+    print(f"{'threads':>8} {'locks':>10} {'transactions':>13}")
+    for n in (1, 2, 3, 4, 5, 6, 7, 8):
+        locked = run_hashtable_experiment(
+            HashtableExperiment(n, elide=False, operations=50))
+        elided = run_hashtable_experiment(
+            HashtableExperiment(n, elide=True, operations=50))
+        print(f"{n:>8} {locked.throughput * 1000:>10.2f} "
+              f"{elided.throughput * 1000:>13.2f}")
+
+    banner("Figure 5(f): LRU extension vs fetch footprint")
+    counts = (50, 100, 150, 200, 250, 300, 350, 400, 500, 600, 700, 800)
+    trials = 40 if args.quick else 100
+    without = footprint_series(counts, lru_extension=False, trials=trials)
+    with_ext = footprint_series(counts, lru_extension=True, trials=trials)
+    print(format_series(without, with_ext))
+
+    banner("Scalar results")
+    lock = run_update_experiment(
+        UpdateExperiment("coarse", 1, 1, 1, iterations=300)).mean_update_cycles
+    tbegin = run_update_experiment(
+        UpdateExperiment("tbegin", 1, 1, 1, iterations=300)).mean_update_cycles
+    tbeginc = run_update_experiment(
+        UpdateExperiment("tbeginc", 1, 1, 1, iterations=300)).mean_update_cycles
+    print(f"S1  1 CPU, pool 1: lock {lock:.1f}cy, TBEGIN {tbegin:.1f}cy "
+          f"(TX wins by {lock / tbegin - 1:.0%}; paper 30%), "
+          f"TBEGINC delta {abs(tbeginc - tbegin) / tbegin:.1%} (paper 0.4%)")
+
+    big_n = 48 if args.quick else 96
+    none = run_update_experiment(
+        UpdateExperiment("none", big_n, 10_000, 4, iterations=iters)).throughput
+    tbc = run_update_experiment(
+        UpdateExperiment("tbeginc", big_n, 10_000, 4, iterations=iters)).throughput
+    print(f"S2  {big_n} CPUs, pool 10k: TBEGINC at {tbc / none:.1%} of the "
+          "no-locking bound (paper: 99.8% at 100 CPUs)")
+
+    lockq = run_queue_experiment(QueueExperiment(4, use_tx=False,
+                                                 operations=40)).throughput
+    txq = run_queue_experiment(QueueExperiment(4, use_tx=True,
+                                               operations=40)).throughput
+    print(f"S3  queue, 4 threads: TX/lock ratio {txq / lockq:.2f}x "
+          "(paper: ~2x)")
+
+    print()
+    print(f"total runtime: {time.time() - t0:.0f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

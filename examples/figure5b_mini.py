@@ -1,0 +1,41 @@
+"""A miniature Figure 5(b) in your terminal.
+
+Runs a reduced sweep of the paper's single-variable / pool-of-10
+benchmark across four synchronisation schemes and renders the log-log
+chart the paper plots: coarse locks flat at the bottom, fine-grained
+locks saturating, transactions on top.
+
+Run with::
+
+    python examples/figure5b_mini.py      (~1-2 minutes)
+"""
+
+from repro.bench.figures import format_sweep, sweep
+from repro.bench.report import render_chart, series_from_points, speedup_summary
+
+CPU_GRID = (2, 4, 8, 16, 32)
+ITERATIONS = 15
+
+
+def main() -> None:
+    points = sweep(
+        ["coarse", "fine", "tbegin", "tbeginc"],
+        CPU_GRID,
+        pool_size=10,
+        n_vars=1,
+        iterations=ITERATIONS,
+    )
+    print(format_sweep(points, "Figure 5(b) (mini): 1 variable, pool 10"))
+    print()
+    series = series_from_points(points)
+    print(render_chart(series, title="normalised throughput vs CPUs"))
+    print()
+    best = max(
+        speedup_summary(series, "coarse"), key=lambda item: item[2]
+    )
+    print(f"biggest win over the coarse lock: {best[0]} at {best[1]} CPUs, "
+          f"{best[2]:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

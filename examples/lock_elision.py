@@ -1,0 +1,47 @@
+"""Lock elision on a shared hashtable — the paper's Figure 5(e) scenario.
+
+"The IBM Java team has prototyped an optimization ... to automatically
+elide locks used for Java synchronized sections. ... the performance
+using locks is flat, whereas the performance grows almost linearly with
+the number of threads using transactions."
+
+This example runs the same get/put workload against one shared hashtable
+twice — once taking the global lock on every operation ("synchronized")
+and once eliding it with TBEGIN (taking the lock only as the fallback) —
+and prints the throughput scaling with thread count.
+
+Run with::
+
+    python examples/lock_elision.py
+"""
+
+from repro.workloads.hashtable import (
+    HashtableExperiment,
+    run_hashtable_experiment,
+)
+
+THREADS = (1, 2, 4, 8)
+OPERATIONS = 50
+
+
+def main() -> None:
+    print(f"{'threads':>8} {'global lock':>12} {'lock elision':>13} "
+          f"{'speedup':>8}")
+    for n in THREADS:
+        locked = run_hashtable_experiment(
+            HashtableExperiment(n, elide=False, operations=OPERATIONS)
+        )
+        elided = run_hashtable_experiment(
+            HashtableExperiment(n, elide=True, operations=OPERATIONS)
+        )
+        speedup = elided.throughput / locked.throughput
+        print(f"{n:>8} {locked.throughput * 1000:>12.2f} "
+              f"{elided.throughput * 1000:>13.2f} {speedup:>7.2f}x"
+              f"   (elided aborts: {elided.total_aborted})")
+    print()
+    print("The lock curve stays flat while elision scales with threads —")
+    print("operations on different buckets no longer serialise.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""repro — a behavioural reproduction of the IBM zEC12 transactional-memory
+architecture ("Transactional Memory Architecture and Implementation for IBM
+System z", MICRO 2012).
+
+The package provides:
+
+* :mod:`repro.mem` — the cache hierarchy and XI coherence fabric;
+* :mod:`repro.core` — the transactional-execution facility (TBEGIN/TBEGINC/
+  TEND/TABORT/ETND/NTSTG/PPA, TDB, PER, interruption filtering, millicode);
+* :mod:`repro.cpu` — a z-like ISA, assembler and interpreter;
+* :mod:`repro.sim` — the discrete-event multiprocessor machine;
+* :mod:`repro.sync` — lock baselines and transaction retry harnesses;
+* :mod:`repro.htm` — a high-level Pythonic HTM API and data structures;
+* :mod:`repro.workloads` / :mod:`repro.bench` — the paper's evaluation.
+"""
+
+from .params import (
+    InstructionCosts,
+    Latencies,
+    MachineParams,
+    Topology,
+    TxLimits,
+    ZEC12,
+)
+from .core import AbortCode, TbeginControls, TransactionAbort, TxEngine
+from .cpu import Program, assemble
+from .sim import CpuResult, Machine, SimResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "InstructionCosts",
+    "Latencies",
+    "MachineParams",
+    "Topology",
+    "TxLimits",
+    "ZEC12",
+    "AbortCode",
+    "TbeginControls",
+    "TransactionAbort",
+    "TxEngine",
+    "Program",
+    "assemble",
+    "CpuResult",
+    "Machine",
+    "SimResult",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Experiment harnesses reproducing the paper's evaluation (Figure 5)."""
+
+from .figures import (
+    DEFAULT_CPU_GRID,
+    QUICK_CPU_GRID,
+    SweepPoint,
+    UpdateExperiment,
+    baseline_throughput,
+    format_sweep,
+    normalized_throughput,
+    run_update_experiment,
+    sweep,
+)
+from .lru import (
+    DEFAULT_LINE_COUNTS,
+    FootprintPoint,
+    footprint_abort_rate,
+    footprint_series,
+    format_series,
+)
+
+__all__ = [
+    "DEFAULT_CPU_GRID",
+    "QUICK_CPU_GRID",
+    "SweepPoint",
+    "UpdateExperiment",
+    "baseline_throughput",
+    "format_sweep",
+    "normalized_throughput",
+    "run_update_experiment",
+    "sweep",
+    "DEFAULT_LINE_COUNTS",
+    "FootprintPoint",
+    "footprint_abort_rate",
+    "footprint_series",
+    "format_series",
+]

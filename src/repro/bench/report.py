@@ -1,0 +1,115 @@
+"""ASCII rendering of figure series — log-scale charts like the paper's.
+
+The paper plots normalised throughput on log-log axes. For terminal-based
+reproduction runs, :func:`render_chart` draws a character-cell chart of
+several series over the CPU axis, and :func:`render_table` the aligned
+numbers, so `benchmarks/run_figures.py` output can be eyeballed directly
+against Figure 5.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from .figures import SweepPoint
+
+#: Glyphs assigned to series, in order.
+GLYPHS = "ox+*#@%&"
+
+
+def series_from_points(points: Iterable[SweepPoint]) -> Dict[str, Dict[int, float]]:
+    """Group sweep points into {scheme: {n_cpus: throughput}}."""
+    table: Dict[str, Dict[int, float]] = {}
+    for point in points:
+        table.setdefault(point.scheme, {})[point.n_cpus] = point.throughput
+    return table
+
+
+def render_chart(
+    series: Dict[str, Dict[int, float]],
+    width: int = 64,
+    height: int = 18,
+    title: str = "",
+) -> str:
+    """Render a log-log scatter chart of the series.
+
+    X axis: CPUs (log2), Y axis: throughput (log10). Each series gets a
+    glyph; collisions show the later series' glyph.
+    """
+    if not series:
+        raise ConfigurationError("nothing to plot")
+    xs = sorted({n for values in series.values() for n in values})
+    ys = [v for values in series.values() for v in values.values() if v > 0]
+    if not xs or not ys:
+        raise ConfigurationError("series hold no positive points")
+
+    x_lo, x_hi = math.log2(xs[0]), math.log2(xs[-1])
+    y_lo, y_hi = math.log10(min(ys)), math.log10(max(ys))
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(n_cpus: int, value: float, glyph: str) -> None:
+        if value <= 0:
+            return
+        col = round((math.log2(n_cpus) - x_lo) / x_span * (width - 1))
+        row = round((math.log10(value) - y_lo) / y_span * (height - 1))
+        grid[height - 1 - row][col] = glyph
+
+    legend = []
+    for index, (name, values) in enumerate(series.items()):
+        glyph = GLYPHS[index % len(GLYPHS)]
+        legend.append(f"{glyph}={name}")
+        for n_cpus, value in sorted(values.items()):
+            place(n_cpus, value, glyph)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"throughput (log)  [{10 ** y_lo:.3g} .. {10 ** y_hi:.3g}]")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" CPUs (log)  [{xs[0]} .. {xs[-1]}]    " + "  ".join(legend))
+    return "\n".join(lines)
+
+
+def render_table(
+    series: Dict[str, Dict[int, float]],
+    value_format: str = "{:>10.1f}",
+) -> str:
+    """Aligned table: one row per CPU count, one column per series."""
+    if not series:
+        raise ConfigurationError("nothing to tabulate")
+    names = list(series)
+    xs = sorted({n for values in series.values() for n in values})
+    header = f"{'CPUs':>6} " + " ".join(f"{name:>10}" for name in names)
+    rows = [header]
+    for n_cpus in xs:
+        cells = []
+        for name in names:
+            value = series[name].get(n_cpus)
+            cells.append(value_format.format(value) if value is not None
+                         else " " * 10)
+        rows.append(f"{n_cpus:>6} " + " ".join(cells))
+    return "\n".join(rows)
+
+
+def speedup_summary(
+    series: Dict[str, Dict[int, float]], baseline: str
+) -> List[Tuple[str, int, float]]:
+    """(scheme, n_cpus, speedup-vs-baseline) for every shared point."""
+    if baseline not in series:
+        raise ConfigurationError(f"unknown baseline series {baseline!r}")
+    base = series[baseline]
+    out: List[Tuple[str, int, float]] = []
+    for name, values in series.items():
+        if name == baseline:
+            continue
+        for n_cpus, value in sorted(values.items()):
+            if n_cpus in base and base[n_cpus] > 0:
+                out.append((name, n_cpus, value / base[n_cpus]))
+    return out

@@ -1,0 +1,46 @@
+"""The transactional-execution facility (the paper's core contribution)."""
+
+from .abort import AbortCode, TABORT_CODE_BASE, TransactionAbort, condition_code_for
+from .constraints import ConstraintReport, check_constrained_block
+from .diagnostic import TransactionDiagnosticControl
+from .engine import FetchRetry, TxEngine
+from .filtering import (
+    ExceptionGroup,
+    InterruptionCode,
+    ProgramInterruption,
+    is_filtered,
+)
+from .millicode import Millicode, RetryPlan
+from .per import PerControl, PerEvent, PerEventType
+from .ppa import PpaAssist
+from .tdb import TdbView, prefix_tdb_address, read_tdb, store_tdb
+from .txstate import CONSTRAINED_CONTROLS, TbeginControls, TransactionState
+
+__all__ = [
+    "AbortCode",
+    "TABORT_CODE_BASE",
+    "TransactionAbort",
+    "condition_code_for",
+    "ConstraintReport",
+    "check_constrained_block",
+    "TransactionDiagnosticControl",
+    "FetchRetry",
+    "TxEngine",
+    "ExceptionGroup",
+    "InterruptionCode",
+    "ProgramInterruption",
+    "is_filtered",
+    "Millicode",
+    "RetryPlan",
+    "PerControl",
+    "PerEvent",
+    "PerEventType",
+    "PpaAssist",
+    "TdbView",
+    "prefix_tdb_address",
+    "read_tdb",
+    "store_tdb",
+    "CONSTRAINED_CONTROLS",
+    "TbeginControls",
+    "TransactionState",
+]

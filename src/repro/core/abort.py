@@ -1,0 +1,119 @@
+"""Transaction abort codes and condition-code rules.
+
+The abort code identifies the detailed reason for a transaction abort and
+is reported in the Transaction Diagnostic Block (section II.E.1). The
+condition code left after an abort tells the program whether the condition
+is considered **transient** (CC 2 — retry is sensible, e.g. a conflict with
+another CPU) or **permanent** (CC 3 — retrying the same transaction will
+fail again, e.g. a restricted instruction), per section II.A.
+
+Code numbering follows the z/Architecture Principles of Operation; codes
+256 and up are TABORT-specified, where the least significant bit selects
+CC 2 (even) or CC 3 (odd).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class AbortCode(enum.IntEnum):
+    """Architected transaction-abort codes."""
+
+    EXTERNAL_INTERRUPTION = 2
+    PROGRAM_INTERRUPTION = 4          # unfiltered program-exception condition
+    MACHINE_CHECK = 5
+    IO_INTERRUPTION = 6
+    FETCH_OVERFLOW = 7                # read footprint exceeded tracking
+    STORE_OVERFLOW = 8                # store cache overflow
+    FETCH_CONFLICT = 9                # XI hit the read set
+    STORE_CONFLICT = 10               # XI hit the write set
+    RESTRICTED_INSTRUCTION = 11
+    PROGRAM_EXCEPTION_FILTERED = 12   # filtered per the effective PIFC
+    NESTING_DEPTH_EXCEEDED = 13
+    CACHE_FETCH_RELATED = 14          # e.g. LRU XI hit the read set
+    CACHE_STORE_RELATED = 15
+    CACHE_OTHER = 16
+    DIAGNOSTIC = 254                  # Transaction Diagnostic Control random abort
+    MISCELLANEOUS = 255
+
+    # TABORT codes are >= 256 and are not enum members.
+
+
+#: The smallest abort code a TABORT instruction may specify.
+TABORT_CODE_BASE = 256
+
+_TRANSIENT_CODES = frozenset(
+    {
+        AbortCode.EXTERNAL_INTERRUPTION,
+        AbortCode.PROGRAM_INTERRUPTION,
+        AbortCode.MACHINE_CHECK,
+        AbortCode.IO_INTERRUPTION,
+        AbortCode.FETCH_CONFLICT,
+        AbortCode.STORE_CONFLICT,
+        AbortCode.CACHE_FETCH_RELATED,
+        AbortCode.CACHE_STORE_RELATED,
+        AbortCode.CACHE_OTHER,
+        AbortCode.DIAGNOSTIC,
+        AbortCode.MISCELLANEOUS,
+    }
+)
+
+
+def condition_code_for(code: int) -> int:
+    """CC set after an abort with ``code`` (2 transient, 3 permanent)."""
+    if code >= TABORT_CODE_BASE:
+        return 3 if code & 1 else 2
+    if code in _TRANSIENT_CODES:
+        return 2
+    return 3
+
+
+@dataclass
+class TransactionAbort:
+    """All architected information about one transaction abort.
+
+    This is what the millicode abort sub-routine consumes to build the TDB
+    and what the :class:`~repro.errors.TransactionAbortSignal` carries.
+    """
+
+    code: int
+    #: Line address that conflicted with another CPU, when known.
+    conflict_token: Optional[int] = None
+    #: Whether the conflict token field is valid (it "cannot always be
+    #: provided and there is a bit indicating the validity").
+    conflict_token_valid: bool = field(init=False)
+    #: Instruction address at which the abort was detected.
+    aborted_ia: Optional[int] = None
+    #: Program-interruption code, for abort codes 4 and 12.
+    interruption_code: Optional[int] = None
+    #: Translation-exception address for access exceptions.
+    translation_address: Optional[int] = None
+    #: True when the abort also causes an interruption into the OS.
+    interrupts_to_os: bool = False
+    #: Whether the aborted transaction was constrained.
+    constrained: bool = False
+
+    def __post_init__(self) -> None:
+        self.conflict_token_valid = self.conflict_token is not None
+
+    @property
+    def condition_code(self) -> int:
+        return condition_code_for(self.code)
+
+    @property
+    def transient(self) -> bool:
+        return self.condition_code == 2
+
+    def describe(self) -> str:
+        """Human-readable one-liner for traces and diagnostics."""
+        try:
+            name = AbortCode(self.code).name
+        except ValueError:
+            name = f"TABORT({self.code})"
+        token = (
+            f" conflict=0x{self.conflict_token:x}" if self.conflict_token_valid else ""
+        )
+        return f"abort {name} cc={self.condition_code}{token}"

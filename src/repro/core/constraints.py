@@ -1,0 +1,106 @@
+"""Static checker for constrained-transaction programming constraints.
+
+A transaction initiated with TBEGINC must follow the constraints of
+section II.D; otherwise the program takes a non-filterable
+constraint-violation interruption:
+
+* at most 32 instructions, all instruction text within 256 consecutive
+  bytes of memory;
+* only forward-pointing relative branches (no loops or sub-routine calls);
+* at most 4 aligned octowords (32 bytes each) of memory accessed;
+* no "complex" instructions (decimal, floating-point, millicoded ops...).
+
+The instruction-count and footprint limits are enforced dynamically by the
+engine; this module provides the *static* analysis a compiler (or a
+careful programmer) would run, plus the branch/instruction-class checks
+the interpreter enforces at execution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..cpu.assembler import Located, Program
+from ..params import TxLimits
+
+
+@dataclass(frozen=True)
+class ConstraintReport:
+    """Result of statically checking one constrained transaction."""
+
+    violations: List[str]
+    instruction_count: int
+    itext_bytes: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def check_constrained_block(
+    program: Program, tbeginc_address: int, limits: TxLimits = TxLimits()
+) -> ConstraintReport:
+    """Statically check the constrained transaction starting at
+    ``tbeginc_address`` (the address of the TBEGINC instruction).
+
+    The checked region runs to the first TEND at the same level. Returns a
+    report listing every violated constraint (empty = conforming).
+    """
+    violations: List[str] = []
+    start = program.at(tbeginc_address)
+    if start is None or start.instruction.mnemonic != "TBEGINC":
+        return ConstraintReport(
+            [f"no TBEGINC at 0x{tbeginc_address:x}"], 0, 0
+        )
+
+    body: List[Located] = []
+    address = program.next_address(tbeginc_address)
+    end_address = address
+    while True:
+        loc = program.at(address)
+        if loc is None:
+            violations.append("transaction runs past the end of the program "
+                              "without a TEND")
+            break
+        if loc.instruction.mnemonic == "TEND":
+            end_address = loc.end_address
+            break
+        if not loc.instruction.pseudo:
+            body.append(loc)
+        address = program.next_address(address)
+
+    count = len(body)
+    if count > limits.constrained_max_instructions:
+        violations.append(
+            f"{count} instructions exceed the maximum of "
+            f"{limits.constrained_max_instructions}"
+        )
+
+    itext = end_address - tbeginc_address
+    if itext > limits.constrained_itext_bytes:
+        violations.append(
+            f"instruction text spans {itext} bytes, more than the "
+            f"{limits.constrained_itext_bytes}-byte window"
+        )
+
+    for loc in body:
+        insn = loc.instruction
+        if insn.restricted_in_constrained or insn.restricted_in_tx:
+            violations.append(
+                f"restricted instruction {insn.mnemonic} at 0x{loc.address:x}"
+            )
+        if insn.is_branch:
+            target = program.target_address(insn)
+            if target <= loc.address:
+                violations.append(
+                    f"backward branch at 0x{loc.address:x} -> 0x{target:x} "
+                    "(only forward-pointing relative branches are allowed)"
+                )
+            elif target > tbeginc_address + limits.constrained_itext_bytes:
+                violations.append(
+                    f"branch at 0x{loc.address:x} leaves the 256-byte "
+                    "instruction-text window"
+                )
+
+    return ConstraintReport(violations, count, itext)

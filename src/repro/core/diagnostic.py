@@ -1,0 +1,61 @@
+"""Transaction Diagnostic Control — forced random aborts (section II.E.3).
+
+Because abort and fallback paths are sparsely exercised, the architecture
+lets the OS instruct the CPU to randomly abort transactions:
+
+* mode 0 — normal operation, no forced aborts;
+* mode 1 — "often, randomly abort transactions at a random point";
+* mode 2 — abort **every** transaction at a random point, at the latest
+  before the outermost TEND (stresses the retry threshold and forces the
+  fallback path).
+
+Mode 2 "is treated like the less aggressive setting for constrained
+transactions" — otherwise constrained transactions could never succeed.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import ConfigurationError
+
+
+class TransactionDiagnosticControl:
+    """Per-CPU random-abort generator."""
+
+    #: Per-instruction abort probability used by mode 1 (and by mode 2 for
+    #: the mid-transaction random point).
+    MODE1_RATE = 0.05
+
+    def __init__(self, rng: random.Random, mode: int = 0) -> None:
+        self._rng = rng
+        self._mode = 0
+        self.set_mode(mode)
+
+    @property
+    def mode(self) -> int:
+        return self._mode
+
+    def set_mode(self, mode: int) -> None:
+        if mode not in (0, 1, 2):
+            raise ConfigurationError("diagnostic control mode must be 0, 1 or 2")
+        self._mode = mode
+
+    def effective_mode(self, constrained: bool) -> int:
+        """Mode 2 degrades to mode 1 for constrained transactions."""
+        if self._mode == 2 and constrained:
+            return 1
+        return self._mode
+
+    def should_abort_now(self, constrained: bool) -> bool:
+        """Random mid-transaction abort check, called per instruction."""
+        mode = self.effective_mode(constrained)
+        if mode == 0:
+            return False
+        return self._rng.random() < self.MODE1_RATE
+
+    def must_abort_before_tend(self, constrained: bool, fired_already: bool) -> bool:
+        """Mode 2 backstop: every transaction aborts before outermost TEND."""
+        if fired_already:
+            return False
+        return self.effective_mode(constrained) == 2

@@ -1,0 +1,768 @@
+"""The per-CPU transactional-execution engine.
+
+This module is the paper's primary contribution in executable form: it
+combines the L1/L2 directories, the store queue, the gathering store
+cache, the transaction-backup state and the millicode hooks into the
+Load/Store-Unit behaviour described in section III:
+
+* loads set the ``tx_read`` bit and the precise read set; stores place
+  transaction-marked entries into the store queue and gather into the
+  store cache, whose writeback is blocked until the transaction ends;
+* incoming XIs are checked against the footprint: conflicting exclusive
+  and demote XIs are **rejected** (stiff-armed) up to a threshold, then
+  the transaction aborts; read-only and LRU XIs that hit the footprint
+  abort immediately;
+* footprint overflows (L1 eviction without the LRU extension, L2 eviction
+  of any footprint line, store-cache overflow) abort;
+* aborts take effect on the *memory side* immediately (isolation) while
+  the architected side (GR restore, CC, PSW back-up, TDB) is processed by
+  the millicode abort sub-routine when the CPU next completes.
+
+Engine operations are designed to be safely re-executed: a fetch that gets
+stiff-armed raises :class:`FetchRetry`; the CPU driver waits out the delay
+and re-runs the same operation (already-obtained lines are then L1 hits).
+All state mutations happen after the last fetch of an operation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Set, Tuple
+
+from ..errors import (
+    MachineStateError,
+    ProgramInterruptionSignal,
+    TransactionAbortSignal,
+)
+from ..mem.address import lines_touched, line_address, octowords_touched
+from ..mem.fabric import CoherenceFabric, CpuPort
+from ..mem.l1 import L1Cache
+from ..mem.l2 import L2Cache
+from ..mem.memory import MainMemory
+from ..mem.paging import PageTable
+from ..mem.storecache import GatheringStoreCache, StoreCacheOverflow
+from ..mem.storequeue import StoreQueue
+from ..mem.xi import Xi, XiResponse, XiType
+from ..params import MachineParams
+from .abort import AbortCode, TABORT_CODE_BASE, TransactionAbort
+from .diagnostic import TransactionDiagnosticControl
+from .filtering import InterruptionCode, ProgramInterruption, is_filtered
+from .millicode import Millicode, RetryPlan
+from .per import PerControl, PerEvent
+from .ppa import PpaAssist
+from .tdb import prefix_tdb_address, store_tdb
+from .txstate import CONSTRAINED_CONTROLS, TbeginControls, TransactionState
+
+
+class FetchRetry(Exception):
+    """A fetch was stiff-armed; re-execute the operation after ``delay``."""
+
+    def __init__(self, delay: int) -> None:
+        super().__init__(delay)
+        self.delay = delay
+
+
+class TxEngine(CpuPort):
+    """Transactional LSU + cache hierarchy of one CPU."""
+
+    def __init__(
+        self,
+        cpu_id: int,
+        params: MachineParams,
+        fabric: CoherenceFabric,
+        memory: MainMemory,
+        page_table: Optional[PageTable] = None,
+    ) -> None:
+        self.cpu_id = cpu_id
+        self.params = params
+        self.fabric = fabric
+        self.memory = memory
+        self.page_table = page_table if page_table is not None else PageTable()
+        self.rng = random.Random((params.seed << 16) ^ (cpu_id * 0x9E3779B1))
+
+        self.l1 = L1Cache(params.l1, lru_extension_enabled=params.lru_extension)
+        self.l2 = L2Cache(params.l2)
+        self.stq = StoreQueue()
+        self.store_cache = GatheringStoreCache(
+            entries=params.tx.store_cache_entries,
+        )
+        self.tx = TransactionState(max_nesting_depth=params.tx.max_nesting_depth)
+        self.tdc = TransactionDiagnosticControl(self.rng)
+        self.ppa = PpaAssist(params.latencies, self.rng)
+        self.millicode = Millicode(self.ppa, self.rng)
+        self.per = PerControl()
+
+        #: Abort recognised on the memory side, awaiting architected
+        #: processing at the next completion point.
+        self.pending_abort: Optional[TransactionAbort] = None
+        #: (line, exclusive) of a fetch whose interconnect wait has been
+        #: served; the re-executed operation performs the transfer.
+        self._fetch_wait: Optional[Tuple[int, bool]] = None
+        #: PER event awaiting delivery as a program interruption.
+        self.pending_per_event: Optional[PerEvent] = None
+        #: Speculative fetching (next-line prefetch inside transactions).
+        #: Millicode may disable it for constrained retries.
+        self.speculation_active = params.speculation
+        #: Set while this CPU holds the broadcast-stop (solo) token.
+        self.solo_requested = False
+        #: Set by the scheduler while another CPU's broadcast-stop is in
+        #: effect: this CPU is stopped, cannot complete instructions, and
+        #: therefore must not stiff-arm — conflicting XIs abort it at once
+        #: ("broadcast to other CPUs to stop all conflicting work").
+        self.stopped_by_broadcast = False
+
+        # statistics
+        self.stats_tx_started = 0
+        self.stats_tx_committed = 0
+        self.stats_tx_aborted = 0
+        self.stats_xi_rejected = 0
+        self.stats_prefetches = 0
+
+        fabric.register(self)
+
+    # ------------------------------------------------------------------
+    # pre/post instruction hooks (called by the CPU driver layers)
+    # ------------------------------------------------------------------
+
+    def note_instruction(self) -> None:
+        """Account one architected instruction; deliver pending aborts.
+
+        Called once per instruction by the interpreter / HTM API (not per
+        re-executed operation). Also runs the Transaction Diagnostic
+        Control's random-abort check.
+        """
+        self.raise_if_pending()
+        if self.tx.active:
+            # The CPU is completing instructions, so continuing to
+            # stiff-arm XIs is productive: the hang-avoidance reject
+            # counter restarts. A CPU stuck in a fetch-retry loop (e.g. a
+            # cyclic line dependency with another transaction) completes
+            # nothing, its counter accumulates, and it aborts at the
+            # threshold — "if the core is not completing further
+            # instructions while continuously rejecting XIs, the
+            # transaction is aborted at a certain threshold".
+            self.tx.xi_rejects = 0
+            self.tx.instruction_count += 1
+            if (
+                self.tx.constrained
+                and self.tx.instruction_count
+                > self.params.tx.constrained_max_instructions
+            ):
+                self.constraint_violation()
+            if self.tdc.should_abort_now(self.tx.constrained):
+                self.tx.diagnostic_abort_armed = True
+                self._abort_now(AbortCode.DIAGNOSTIC)
+                self.raise_if_pending()
+
+    def raise_if_pending(self) -> None:
+        """Raise the pending abort signal, if any (completion stall point)."""
+        if self.pending_abort is not None:
+            raise TransactionAbortSignal(self.pending_abort)
+
+    # ------------------------------------------------------------------
+    # transaction lifecycle
+    # ------------------------------------------------------------------
+
+    def tx_begin(
+        self,
+        controls: Optional[TbeginControls] = None,
+        constrained: bool = False,
+        ia: int = 0,
+    ) -> int:
+        """TBEGIN / TBEGINC. Returns the operation latency in cycles.
+
+        Sets CC 0 (the caller owns the condition code register). Aborts
+        with code 13 when the maximum nesting depth would be exceeded.
+        Callers must enforce the restricted-instruction rule for TBEGIN(C)
+        inside constrained transactions before calling.
+        """
+        self.raise_if_pending()
+        costs = self.params.costs
+        if constrained and controls is None:
+            controls = CONSTRAINED_CONTROLS
+        if controls is None:
+            controls = TbeginControls()
+
+        if self.tx.depth >= self.tx.max_nesting_depth:
+            self._abort_now(AbortCode.NESTING_DEPTH_EXCEEDED, ia=ia)
+            self.raise_if_pending()
+
+        if self.tx.depth > 0:
+            # Nested (inner) transaction: flattened nesting just bumps the
+            # depth; a TBEGINC inside a non-constrained transaction opens a
+            # normal non-constrained level.
+            self.tx.begin(controls, constrained=False)
+            return costs.nested_tbegin
+
+        # Outermost TBEGIN.
+        if controls.tdb_address is not None:
+            # Accessibility test for the TDB (pre-transactional: a missing
+            # page here is an ordinary program interruption, not an abort).
+            self._translate_or_fault(controls.tdb_address, 256, store=True)
+
+        latency = costs.tbeginc if constrained else (
+            costs.tbegin_base
+            + costs.tbegin_per_gr_pair * bin(controls.grsm).count("1")
+        )
+        self.tx.begin(controls, constrained=constrained)
+        self.tx.tbegin_address = ia
+        self.l1.begin_transaction()
+        self.store_cache.begin_transaction()
+        self.memory.apply_writes(self.store_cache.take_drained())
+        self.stats_tx_started += 1
+        return latency
+
+    def tx_end(self, ia: int = 0) -> Tuple[int, int]:
+        """TEND. Returns ``(latency, remaining_depth)``.
+
+        At depth 1 this commits: tx-dirty lines become normal, store-cache
+        entries open for post-transaction gathering, PER TEND event checked.
+        """
+        self.raise_if_pending()
+        if not self.tx.active:
+            # TEND outside a transaction: sets CC, no other effect. The
+            # caller reads depth 0 and sets CC accordingly.
+            return (self.params.costs.tend, 0)
+        if self.tx.depth == 1 and self.tdc.must_abort_before_tend(
+            self.tx.constrained, self.tx.diagnostic_abort_armed
+        ):
+            self.tx.diagnostic_abort_armed = True
+            self._abort_now(AbortCode.DIAGNOSTIC, ia=ia)
+            self.raise_if_pending()
+        remaining = self.tx.end()
+        if remaining > 0:
+            return (self.params.costs.tend, remaining)
+
+        # Outermost TEND: commit.
+        self.store_cache.end_transaction()
+        self.stq.clear_tx_marks()
+        self.l1.end_transaction()
+        constrained = self.tx.constrained
+        self.tx.reset()
+        self.stats_tx_committed += 1
+        if constrained:
+            self.millicode.note_constrained_success()
+            self.speculation_active = self.params.speculation
+        if self.solo_requested:
+            self.solo_requested = False
+        event = self.per.check_tend(ia)
+        if event is not None:
+            self.pending_per_event = event
+        return (self.params.costs.tend, 0)
+
+    def tx_abort(self, code: int, ia: int = 0) -> None:
+        """TABORT: immediate abort with a program-specified code."""
+        self.raise_if_pending()
+        if code < TABORT_CODE_BASE:
+            code = TABORT_CODE_BASE + code
+        if not self.tx.active:
+            raise MachineStateError("TABORT outside a transaction is a special-"
+                                    "operation exception; caller must check")
+        self._abort_now(code, ia=ia)
+        self.raise_if_pending()
+
+    def quiesce(self) -> None:
+        """Drain every buffered (non-transactional) store to memory.
+
+        Called at the end of a simulation run so the architected memory
+        image reflects all committed stores; the hardware analogue is the
+        store cache naturally draining when the CPU idles.
+        """
+        self.store_cache.drain_all()
+        self.memory.apply_writes(self.store_cache.take_drained())
+
+    def nesting_depth(self) -> Tuple[int, int]:
+        """ETND: ``(latency, current nesting depth)`` (millicoded)."""
+        self.raise_if_pending()
+        return (self.params.costs.etnd, self.tx.depth)
+
+    def ppa_tx_assist(self, abort_count: int) -> int:
+        """PPA(TX): returns the total latency including the random delay."""
+        self.raise_if_pending()
+        return self.params.costs.ppa_base + self.millicode.ppa_delay(abort_count)
+
+    # ------------------------------------------------------------------
+    # memory operations
+    # ------------------------------------------------------------------
+
+    def load(self, addr: int, length: int = 8,
+             exclusive: bool = False) -> Tuple[int, int]:
+        """Load ``length`` bytes; returns ``(value, latency)``.
+
+        Transactional loads join the read set and set the L1 tx-read bits.
+        ``exclusive`` models a load with *store intent* (the LSU detects a
+        store to the same line in the pipeline and fetches exclusive up
+        front), avoiding a read-only window before the upgrade.
+        """
+        self.raise_if_pending()
+        self._translate(addr, length, store=False)
+        latency = 0
+        missed = False
+        lines = lines_touched(addr, length, self.params.line_size)
+        for line in lines:
+            cycles, source = self._fetch(line, exclusive=exclusive)
+            latency += cycles
+            missed = missed or source != "l1"
+        self._note_read_lines(lines, addr, length)
+        if missed:
+            self._speculative_prefetch(lines[-1])
+        return (self._read_value(addr, length), latency)
+
+    def store(self, addr: int, value: int, length: int = 8) -> int:
+        """Store ``length`` bytes; returns the latency.
+
+        Requires exclusive ownership of the target lines; buffers the data
+        in the store queue / gathering store cache.
+        """
+        self.raise_if_pending()
+        self._translate(addr, length, store=True)
+        latency = 0
+        lines = lines_touched(addr, length, self.params.line_size)
+        for line in lines:
+            latency += self._fetch(line, exclusive=True)[0]
+        self._check_per_store(addr, length)
+        self._commit_store(addr, value, length, ntstg=False)
+        self._note_write_lines(lines, addr, length)
+        return latency
+
+    def add_to_storage(self, addr: int, increment: int,
+                       length: int = 8) -> Tuple[int, int]:
+        """Interlocked add-immediate-to-storage (ASI/AGSI).
+
+        The increment pattern the benchmarks use: the line is fetched
+        *exclusive* up front (store intent), so there is no read-only
+        window between the load and the store half of the update — two
+        CPUs incrementing the same variable serialise through XI
+        stiff-arming instead of aborting each other.
+
+        Returns ``(new_value, latency)``.
+        """
+        self.raise_if_pending()
+        self._translate(addr, length, store=True)
+        lines = lines_touched(addr, length, self.params.line_size)
+        latency = 0
+        for line in lines:
+            latency += self._fetch(line, exclusive=True)[0]
+        self._check_per_store(addr, length)
+        mask = (1 << (8 * length)) - 1
+        current = self._read_value(addr, length)
+        signed = current - (1 << (8 * length)) if current >> (8 * length - 1) else current
+        new_value = (signed + increment) & mask
+        self._commit_store(addr, new_value, length, ntstg=False)
+        self._note_write_lines(lines, addr, length)
+        return (new_value, latency)
+
+    def ntstg(self, addr: int, value: int) -> int:
+        """Non-transactional store of a doubleword (8 bytes).
+
+        Isolated like other transactional stores, but committed to memory
+        even on abort. "The architecture requires that the memory locations
+        stored to by NTSTG do not overlap with other stores from the
+        transaction" — we do not police the overlap (the architecture makes
+        it a programming error with unpredictable results).
+        """
+        self.raise_if_pending()
+        if addr % 8:
+            self._program_interruption(InterruptionCode.SPECIFICATION, addr)
+        self._translate(addr, 8, store=True)
+        line = line_address(addr, self.params.line_size)
+        latency = self._fetch(line, exclusive=True)[0]
+        self._check_per_store(addr, 8)
+        self._commit_store(addr, value, 8, ntstg=True)
+        self._note_write_lines((line,), addr, 8)
+        return latency
+
+    def compare_and_swap(
+        self, addr: int, expected: int, new: int, length: int = 8
+    ) -> Tuple[bool, int, int]:
+        """Interlocked compare-and-swap.
+
+        Returns ``(swapped, observed_value, latency)``; the observed value
+        is what CS loads into the comparand register on a miscompare.
+        """
+        self.raise_if_pending()
+        self._translate(addr, length, store=True)
+        lines = lines_touched(addr, length, self.params.line_size)
+        latency = self.params.costs.cas_extra
+        for line in lines:
+            latency += self._fetch(line, exclusive=True)[0]
+        current = self._read_value(addr, length)
+        if current == expected:
+            self._check_per_store(addr, length)
+            self._commit_store(addr, new, length, ntstg=False)
+            self._note_write_lines(lines, addr, length)
+            swapped = True
+        else:
+            self._note_read_lines(lines, addr, length)
+            swapped = False
+        return (swapped, current, latency)
+
+    # ------------------------------------------------------------------
+    # fetch path and footprint accounting
+    # ------------------------------------------------------------------
+
+    def _fetch(self, line: int, exclusive: bool) -> Tuple[int, str]:
+        """Two-phase fetch: wait for the interconnect, then transfer.
+
+        The ownership transfer only happens once the data would actually
+        have arrived — otherwise a transaction would appear to "hold" a
+        line (and stiff-arm other CPUs) for the whole interconnect delay
+        of its *own* pending fetch, grossly inflating conflict windows.
+        The wait is realised as a FetchRetry so other CPUs run meanwhile;
+        the re-executed operation then performs the real transfer at the
+        L1-install cost.
+        """
+        key = (line, exclusive)
+        if self._fetch_wait != key:
+            probe = self.fabric.probe_latency(self.cpu_id, line, exclusive)
+            if probe > self.params.latencies.l2_hit:
+                self._fetch_wait = key
+                raise FetchRetry(probe - self.params.latencies.l1_hit)
+        self._fetch_wait = None
+        outcome = self.fabric.try_fetch(self.cpu_id, line, exclusive)
+        # Our own install may have evicted our own footprint (note_l1/l2
+        # hooks set pending aborts); deliver before using the data.
+        self.raise_if_pending()
+        if not outcome.done:
+            raise FetchRetry(outcome.latency)
+        latency = min(outcome.latency, self.params.latencies.l1_hit)
+        return (latency, outcome.source)
+
+    def _note_read_lines(self, lines, addr: int, length: int) -> None:
+        if not self.tx.active:
+            return
+        for line in lines:
+            self.l1.mark_tx_read(line)
+            self.tx.read_set.add(line)
+        self._note_octowords(addr, length)
+
+    def _note_write_lines(self, lines, addr: int, length: int) -> None:
+        if not self.tx.active:
+            return
+        for line in lines:
+            self.l1.mark_tx_dirty(line)
+        self._note_octowords(addr, length)
+
+    def _note_octowords(self, addr: int, length: int) -> None:
+        """Constrained footprint accounting: at most 4 aligned octowords."""
+        self.tx.octowords.update(octowords_touched(addr, length))
+        if (
+            self.tx.constrained
+            and len(self.tx.octowords) > self.params.tx.constrained_max_octowords
+        ):
+            self.constraint_violation()
+
+    def constraint_violation(self) -> None:
+        """A constrained-transaction constraint was violated: the program
+        takes a *non-filterable* constraint-violation interruption."""
+        self._program_interruption(InterruptionCode.TRANSACTION_CONSTRAINT)
+
+    def restricted_instruction(self, ia: int = 0) -> None:
+        """A restricted instruction reached completion inside a
+        transaction: abort with code 11 (permanent, CC 3)."""
+        self._abort_now(AbortCode.RESTRICTED_INSTRUCTION, ia=ia)
+        self.raise_if_pending()
+
+    #: Probability that a missing transactional load pulls in (and
+    #: tx-read-marks) the next sequential line as well.
+    PREFETCH_PROBABILITY = 0.25
+
+    def _speculative_prefetch(self, line: int) -> None:
+        """Model speculative over-marking of the read set (section III.C).
+
+        A transactional load that *misses* may speculatively prefetch the
+        next sequential line read-only and mark it tx-read — "over-marking"
+        the footprint. Constrained-transaction millicode disables this
+        after repeated aborts, "reducing the amount of speculative
+        execution to avoid encountering aborts caused by speculative
+        accesses to data that the transaction is not actually using" (the
+        Figure 5(c) effect). Best-effort: a stiff-armed prefetch is simply
+        dropped.
+        """
+        if not (self.tx.active and self.speculation_active):
+            return
+        next_line = line + self.params.line_size
+        if next_line in self.tx.read_set:
+            return
+        if self.rng.random() >= self.PREFETCH_PROBABILITY:
+            return
+        try:
+            outcome = self.fabric.try_fetch(self.cpu_id, next_line, False)
+        except Exception:  # pragma: no cover - fabric never raises today
+            return
+        self.raise_if_pending()
+        if outcome.done:
+            self.stats_prefetches += 1
+            self.l1.mark_tx_read(next_line)
+            self.tx.read_set.add(next_line)
+
+    def _read_value(self, addr: int, length: int) -> int:
+        """Assemble a load value: STQ forwarding, then store cache, then
+        the architected memory image."""
+        result = bytearray()
+        for byte_addr in range(addr, addr + length):
+            value = self.stq.forward_byte(byte_addr)
+            if value is None:
+                value = self.store_cache.forward_byte(byte_addr)
+            if value is None:
+                value = self.memory.read_byte(byte_addr)
+            result.append(value)
+        return int.from_bytes(bytes(result), "big")
+
+    def _commit_store(self, addr: int, value: int, length: int, ntstg: bool) -> None:
+        """Push through the STQ into the store cache (instruction-atomic)."""
+        mask = (1 << (8 * length)) - 1
+        data = (value & mask).to_bytes(length, "big")
+        in_tx = self.tx.active
+        self.stq.push(addr, data, tx=in_tx, ntstg=ntstg)
+        for entry in self.stq.drain():
+            try:
+                self.store_cache.store(entry.addr, entry.data, tx=entry.tx,
+                                       ntstg=entry.ntstg)
+            except StoreCacheOverflow:
+                self._abort_now(AbortCode.STORE_OVERFLOW)
+                self.raise_if_pending()
+        self.memory.apply_writes(self.store_cache.take_drained())
+
+    def _check_per_store(self, addr: int, length: int) -> None:
+        event = self.per.check_store(addr, length, self.tx.active)
+        if event is not None:
+            # PER events cause a non-filterable program interruption; in a
+            # transaction they abort first (section II.E.2).
+            self.pending_per_event = event
+            self._program_interruption(InterruptionCode.PER_EVENT, addr)
+
+    # ------------------------------------------------------------------
+    # translation / program interruptions
+    # ------------------------------------------------------------------
+
+    def _translate(self, addr: int, length: int, store: bool) -> None:
+        missing = self.page_table.first_missing(addr, length)
+        if missing >= 0:
+            self._program_interruption(
+                InterruptionCode.PAGE_TRANSLATION, missing
+            )
+
+    def _translate_or_fault(self, addr: int, length: int, store: bool) -> None:
+        """Pre-transactional accessibility test (TDB address on TBEGIN)."""
+        missing = self.page_table.first_missing(addr, length)
+        if missing >= 0:
+            raise ProgramInterruptionSignal(
+                ProgramInterruption(
+                    code=InterruptionCode.PAGE_TRANSLATION,
+                    translation_address=missing,
+                )
+            )
+
+    def _program_interruption(self, code: int, address: int = 0,
+                              instruction_fetch: bool = False) -> None:
+        """Recognise a program-exception condition at the current point.
+
+        Outside a transaction the signal propagates to the CPU layer (OS
+        interruption). Inside, the transaction aborts first; the effective
+        PIFC decides between a filtered abort (code 12, no OS) and an
+        unfiltered one (code 4, OS interruption after the abort).
+        """
+        interruption = ProgramInterruption(
+            code=code,
+            translation_address=address,
+            instruction_fetch=instruction_fetch,
+        )
+        if not self.tx.active:
+            raise ProgramInterruptionSignal(interruption)
+        filtered = is_filtered(interruption, self.tx.effective_pifc)
+        abort_code = (
+            AbortCode.PROGRAM_EXCEPTION_FILTERED if filtered
+            else AbortCode.PROGRAM_INTERRUPTION
+        )
+        self._abort_now(
+            abort_code,
+            interruption_code=int(code),
+            translation_address=address,
+            interrupts_to_os=not filtered,
+        )
+        self.raise_if_pending()
+
+    def external_interruption(self) -> None:
+        """An asynchronous (timer/I-O) interruption hit this CPU."""
+        if self.tx.active:
+            self._abort_now(AbortCode.EXTERNAL_INTERRUPTION, interrupts_to_os=True)
+
+    # ------------------------------------------------------------------
+    # abort machinery
+    # ------------------------------------------------------------------
+
+    def _abort_now(
+        self,
+        code: int,
+        conflict_token: Optional[int] = None,
+        ia: Optional[int] = None,
+        interruption_code: Optional[int] = None,
+        translation_address: Optional[int] = None,
+        interrupts_to_os: bool = False,
+    ) -> None:
+        """Memory-side abort: isolation is torn down immediately; the
+        architected effects wait for the next completion point."""
+        if self.pending_abort is not None:
+            return
+        if not self.tx.active:
+            return
+        self.pending_abort = TransactionAbort(
+            code=int(code),
+            conflict_token=conflict_token,
+            aborted_ia=ia,
+            interruption_code=interruption_code,
+            translation_address=translation_address,
+            interrupts_to_os=interrupts_to_os,
+            constrained=self.tx.constrained,
+        )
+        # Invalidate speculative data: tx-dirty L1 lines vanish, pending
+        # transactional stores are dropped (NTSTG doublewords survive),
+        # the read set is forgotten.
+        for entry in self.l1.abort_transaction():
+            # The line stays valid in the L2 (it is clean there: store-cache
+            # writeback to the L2 was blocked), so ownership is unchanged.
+            pass
+        self.stq.invalidate_tx()
+        self.store_cache.abort_transaction()
+        self.memory.apply_writes(self.store_cache.take_drained())
+        self.tx.read_set.clear()
+        self.tx.octowords.clear()
+        self.solo_requested = False
+        self.stats_tx_aborted += 1
+
+    def process_abort(self, general_registers=None) -> Tuple[TransactionAbort, RetryPlan, int]:
+        """The millicode abort sub-routine (section III.E).
+
+        Called by the CPU layer after catching the abort signal. Stores the
+        TDB if the outermost TBEGIN named one, computes the millicode
+        latency, resets the transactional state, and (for constrained
+        transactions) returns the retry plan. The *caller* applies GR
+        restoration (it owns the register file) from ``gr_backup``.
+        """
+        abort = self.pending_abort
+        if abort is None:
+            raise MachineStateError("no abort to process")
+        tdb_address = self.tx.tdb_address
+        tdb_stored = False
+        if tdb_address is not None:
+            store_tdb(self.memory, tdb_address, abort, self.tx.depth,
+                      general_registers)
+            tdb_stored = True
+        if abort.interrupts_to_os:
+            # Second TDB copy into the CPU's prefix area for post-mortem
+            # analysis (section II.E.1).
+            store_tdb(self.memory, prefix_tdb_address(self.cpu_id), abort,
+                      self.tx.depth, general_registers)
+        restored_pairs = bin(self.tx.outermost.grsm).count("1") if self.tx.levels else 0
+        latency = self.millicode.abort_processing_cost(abort, tdb_stored,
+                                                       restored_pairs)
+        plan = RetryPlan()
+        if abort.constrained:
+            if abort.interrupts_to_os:
+                self.millicode.note_os_interruption()
+            else:
+                plan = self.millicode.note_constrained_abort()
+                if plan.disable_speculation:
+                    self.speculation_active = False
+                if plan.broadcast_stop:
+                    self.solo_requested = True
+        self.tx.reset()
+        self.pending_abort = None
+        return (abort, plan, latency)
+
+    # ------------------------------------------------------------------
+    # XI handling (CpuPort implementation)
+    # ------------------------------------------------------------------
+
+    def receive_xi(self, xi: Xi) -> Tuple[XiResponse, int]:
+        line = xi.line
+        if xi.xi_type in (XiType.EXCLUSIVE, XiType.DEMOTE):
+            if self.store_cache.xi_compare(line) == "reject":
+                return self._stiff_arm(xi, AbortCode.STORE_CONFLICT)
+            if xi.xi_type is XiType.EXCLUSIVE and self._read_set_hit(line):
+                return self._stiff_arm(xi, AbortCode.FETCH_CONFLICT)
+            extra = 0
+            if self.store_cache.xi_compare(line) == "drain":
+                drained = self.store_cache.drain_line(line)
+                self.memory.apply_writes(self.store_cache.take_drained())
+                extra = drained * self.params.latencies.store_cache_drain
+            self._apply_xi(xi)
+            return (XiResponse.ACCEPT, extra)
+
+        if xi.xi_type is XiType.READ_ONLY:
+            if self._read_set_hit(line):
+                # Not rejectable: the reader transaction aborts.
+                self._abort_now(AbortCode.FETCH_CONFLICT, conflict_token=line)
+            self._apply_xi(xi)
+            return (XiResponse.ACCEPT, 0)
+
+        # LRU XI from an inclusive higher-level cache eviction.
+        if self._read_set_hit(line):
+            self._abort_now(AbortCode.CACHE_FETCH_RELATED, conflict_token=line)
+        if line in self.store_cache.tx_lines():
+            self._abort_now(AbortCode.CACHE_STORE_RELATED, conflict_token=line)
+        elif self.store_cache.xi_compare(line) == "drain":
+            self.store_cache.drain_line(line)
+            self.memory.apply_writes(self.store_cache.take_drained())
+        self._apply_xi(xi)
+        return (XiResponse.ACCEPT, 0)
+
+    def _read_set_hit(self, line: int) -> bool:
+        """Precise read set plus the imprecise LRU-extension rows.
+
+        "Since no precise address tracking exists for the LRU extensions,
+        any non-rejected XI that hits a valid extension row [makes] the LSU
+        trigger an abort" — including false positives, which we reproduce.
+        """
+        if not self.tx.active or self.pending_abort is not None:
+            return False
+        return line in self.tx.read_set or self.l1.extension_hit(line)
+
+    def _stiff_arm(self, xi: Xi, abort_code: AbortCode) -> Tuple[XiResponse, int]:
+        """Reject the XI "in the hope of finishing the transaction before
+        the L3 repeats the XI", aborting at the hang-avoidance threshold."""
+        self.tx.xi_rejects += 1
+        if (
+            not self.stopped_by_broadcast
+            and self.tx.xi_rejects < self.params.tx.xi_reject_threshold
+        ):
+            self.stats_xi_rejected += 1
+            return (XiResponse.REJECT, 0)
+        self._abort_now(abort_code, conflict_token=xi.line)
+        extra = 0
+        if self.store_cache.xi_compare(xi.line) == "drain":
+            drained = self.store_cache.drain_line(xi.line)
+            self.memory.apply_writes(self.store_cache.take_drained())
+            extra = drained * self.params.latencies.store_cache_drain
+        self._apply_xi(xi)
+        return (XiResponse.ACCEPT, extra)
+
+    def _apply_xi(self, xi: Xi) -> None:
+        """Directory effects of an accepted XI."""
+        if xi.xi_type is XiType.DEMOTE:
+            self.l1.directory.demote(xi.line)
+            self.l2.directory.demote(xi.line)
+        else:
+            self.l1.directory.remove(xi.line)
+            self.l2.directory.remove(xi.line)
+
+    # ------------------------------------------------------------------
+    # eviction notifications (CpuPort implementation)
+    # ------------------------------------------------------------------
+
+    def note_l1_eviction(self, entry) -> None:
+        self.l1.note_eviction(entry)
+        if self.l1.footprint_lost:
+            # No LRU extension: the read footprint exceeded the L1.
+            self._abort_now(AbortCode.FETCH_OVERFLOW, conflict_token=entry.line)
+
+    def note_l2_eviction(self, line: int) -> None:
+        if not self.tx.active or self.pending_abort is not None:
+            return
+        if line in self.tx.read_set:
+            self._abort_now(AbortCode.FETCH_OVERFLOW, conflict_token=line)
+        elif line in self.store_cache.tx_lines():
+            # Transactionally dirty lines "have to stay resident in the L2
+            # throughout the transaction".
+            self._abort_now(AbortCode.STORE_OVERFLOW, conflict_token=line)

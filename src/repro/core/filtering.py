@@ -1,0 +1,104 @@
+"""Program-interruption filtering (section II.C).
+
+Exceptions detected during transactional execution are categorised into
+four groups:
+
+1. exceptions that cannot occur in a transaction (their instructions are
+   restricted);
+2. exceptions that always indicate a programming error and always
+   interrupt into the OS (e.g. undefined op-codes, PER events);
+3. exceptions related to memory access (e.g. page faults);
+4. arithmetic/data exceptions (e.g. divide-by-zero, overflow).
+
+The Program Interruption Filtering Control (PIFC) of TBEGIN selects what
+is *filtered* — the transaction still aborts, but no interruption into the
+OS occurs and the program continues at the abort handler:
+
+* PIFC 0 — no filtering;
+* PIFC 1 — group 4 filtered;
+* PIFC 2 — groups 3 and 4 filtered.
+
+Exceptions related to *instruction fetching* are never filtered: a page
+fault on a code page only used transactionally would otherwise never be
+resolved by the OS and the transaction would abort forever.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class InterruptionCode(enum.IntEnum):
+    """Program-interruption codes (subset of the z/Architecture set)."""
+
+    OPERATION = 0x0001              # undefined op-code
+    PRIVILEGED_OPERATION = 0x0002
+    EXECUTE = 0x0003
+    FIXED_POINT_DIVIDE = 0x0009
+    FIXED_POINT_OVERFLOW = 0x0008
+    DATA = 0x0007
+    SEGMENT_TRANSLATION = 0x0010
+    PAGE_TRANSLATION = 0x0011
+    SPECIFICATION = 0x0006
+    TRANSACTION_CONSTRAINT = 0x0018  # constrained-transaction violation
+    PER_EVENT = 0x0080
+
+
+class ExceptionGroup(enum.IntEnum):
+    NEVER_IN_TRANSACTION = 1
+    ALWAYS_INTERRUPTS = 2
+    ACCESS = 3
+    DATA_ARITHMETIC = 4
+
+
+_GROUPS = {
+    InterruptionCode.OPERATION: ExceptionGroup.ALWAYS_INTERRUPTS,
+    InterruptionCode.PRIVILEGED_OPERATION: ExceptionGroup.NEVER_IN_TRANSACTION,
+    InterruptionCode.EXECUTE: ExceptionGroup.ALWAYS_INTERRUPTS,
+    InterruptionCode.FIXED_POINT_DIVIDE: ExceptionGroup.DATA_ARITHMETIC,
+    InterruptionCode.FIXED_POINT_OVERFLOW: ExceptionGroup.DATA_ARITHMETIC,
+    InterruptionCode.DATA: ExceptionGroup.DATA_ARITHMETIC,
+    InterruptionCode.SEGMENT_TRANSLATION: ExceptionGroup.ACCESS,
+    InterruptionCode.PAGE_TRANSLATION: ExceptionGroup.ACCESS,
+    InterruptionCode.SPECIFICATION: ExceptionGroup.ALWAYS_INTERRUPTS,
+    InterruptionCode.TRANSACTION_CONSTRAINT: ExceptionGroup.ALWAYS_INTERRUPTS,
+    InterruptionCode.PER_EVENT: ExceptionGroup.ALWAYS_INTERRUPTS,
+}
+
+
+@dataclass(frozen=True)
+class ProgramInterruption:
+    """One recognised program-exception condition."""
+
+    code: int
+    #: Address whose translation failed, for access exceptions.
+    translation_address: int = 0
+    #: Instruction address at which the exception was recognised.
+    instruction_address: int = 0
+    #: True when the exception occurred while *fetching* the instruction
+    #: (never filtered).
+    instruction_fetch: bool = False
+
+    @property
+    def group(self) -> ExceptionGroup:
+        try:
+            return _GROUPS[InterruptionCode(self.code)]
+        except (ValueError, KeyError):
+            return ExceptionGroup.ALWAYS_INTERRUPTS
+
+
+def is_filtered(interruption: ProgramInterruption, effective_pifc: int) -> bool:
+    """Whether the exception is filtered under the effective PIFC.
+
+    Filtered means: the transaction aborts with code 12 and a non-zero CC,
+    but no interruption into the OS occurs.
+    """
+    if interruption.instruction_fetch:
+        return False
+    group = interruption.group
+    if group is ExceptionGroup.DATA_ARITHMETIC:
+        return effective_pifc >= 1
+    if group is ExceptionGroup.ACCESS:
+        return effective_pifc >= 2
+    return False

@@ -1,0 +1,115 @@
+"""Millicode-implemented transaction functions (section III.E).
+
+IBM mainframe processors carry a firmware layer — millicode — that handles
+complex operations. For transactional memory, millicode implements:
+
+* the **abort sub-routine**: read the hardware abort reason from SPRs,
+  store the TDB if one was specified, restore the GRs named by the
+  GR-save-mask, and back the PSW up to (after) the outermost TBEGIN;
+* **TABORT**, **ETND** and **PPA** (see :mod:`repro.core.ppa`);
+* the **constrained-transaction retry escalation**: millicode counts the
+  aborts of a constrained transaction (the counter resets on successful
+  TEND or on an interruption into the OS) and, depending on the count,
+  successively (i) inserts growing random delays between retries,
+  (ii) reduces speculative execution "to avoid encountering aborts caused
+  by speculative accesses to data that the transaction is not actually
+  using", and (iii) as a last resort broadcasts to the other CPUs to stop
+  all conflicting work while the transaction retries — which is what makes
+  the architecture's eventual-success guarantee implementable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .abort import TransactionAbort
+from .ppa import PpaAssist
+
+
+#: Escalation thresholds (millicode-internal heuristics, not architected).
+DELAY_THRESHOLD = 1          # delays start after the first abort
+SPECULATION_OFF_THRESHOLD = 2
+BROADCAST_STOP_THRESHOLD = 2
+#: Constrained retry delays: unit and exponent cap. Deliberately gentler
+#: than PPA — a constrained transaction is tiny, so short decorrelating
+#: delays suffice, and this is what lets TBEGINC outperform TBEGIN under
+#: extreme contention (Figure 5(c)).
+CONSTRAINED_DELAY_UNIT = 40
+CONSTRAINED_DELAY_MAX_EXPONENT = 4
+
+
+@dataclass(frozen=True)
+class RetryPlan:
+    """What millicode decided to do before a constrained retry."""
+
+    delay_cycles: int = 0
+    disable_speculation: bool = False
+    broadcast_stop: bool = False
+
+
+class Millicode:
+    """Millicode routines of one CPU."""
+
+    #: Cycle costs of the millicode paths (calibrated, not architected).
+    ABORT_BASE_COST = 80
+    TDB_STORE_COST = 120
+    GR_RESTORE_COST_PER_PAIR = 2
+
+    def __init__(self, ppa: PpaAssist, rng: random.Random) -> None:
+        self._ppa = ppa
+        self._rng = rng
+        #: Number of consecutive aborts of the current constrained tx.
+        self.constrained_abort_count = 0
+
+    # -- abort sub-routine costing ------------------------------------------
+
+    def abort_processing_cost(self, abort: TransactionAbort, tdb_stored: bool,
+                              restored_pairs: int) -> int:
+        """Cycles spent in the common abort sub-routine.
+
+        "It is expected that extracting the information and storing the TDB
+        on transaction abort takes a number of CPU cycles" — which is why
+        only debug/test code enables TDBs on hot transactions.
+        """
+        cost = self.ABORT_BASE_COST
+        if tdb_stored:
+            cost += self.TDB_STORE_COST
+        cost += self.GR_RESTORE_COST_PER_PAIR * restored_pairs
+        return cost
+
+    # -- constrained-transaction forward progress ------------------------------
+
+    def note_constrained_abort(self) -> RetryPlan:
+        """Record one constrained abort and plan the next retry."""
+        self.constrained_abort_count += 1
+        count = self.constrained_abort_count
+        delay = 0
+        if count > DELAY_THRESHOLD:
+            exponent = min(count - DELAY_THRESHOLD,
+                           CONSTRAINED_DELAY_MAX_EXPONENT)
+            delay = self._rng.randrange(
+                CONSTRAINED_DELAY_UNIT, CONSTRAINED_DELAY_UNIT << exponent
+            )
+        broadcast = count >= BROADCAST_STOP_THRESHOLD
+        return RetryPlan(
+            # No point delaying when the other CPUs are being stopped.
+            delay_cycles=0 if broadcast else delay,
+            disable_speculation=count >= SPECULATION_OFF_THRESHOLD,
+            broadcast_stop=broadcast,
+        )
+
+    def note_constrained_success(self) -> None:
+        """Counter resets to 0 on successful TEND completion."""
+        self.constrained_abort_count = 0
+
+    def note_os_interruption(self) -> None:
+        """Counter also resets when an interruption into the OS occurs
+        ("since it is not known if or when the OS will return")."""
+        self.constrained_abort_count = 0
+
+    # -- PPA (TX-abort assist) ----------------------------------------------
+
+    def ppa_delay(self, abort_count: int) -> int:
+        """The millicoded PPA implementation: configuration-tuned back-off."""
+        return self._ppa.delay_cycles(abort_count)

@@ -1,0 +1,105 @@
+"""Program Event Recording (PER) with the transactional extensions.
+
+PER triggers a program interruption on certain events — stores into a
+monitored address range, instruction fetch from a range, branches into a
+range — and is the mechanism behind z/OS SLIP traps and GDB watch-points.
+Detection of a PER event inside a transaction aborts the transaction and
+takes a *non-filterable* interruption (section II.E.2).
+
+Two transactional additions:
+
+* **PER event suppression** suppresses any PER event while the CPU runs in
+  transactional mode — making a whole transaction look like a single "big
+  instruction" to a single-stepping debugger;
+* the **PER TEND event** triggers on successful completion of an outermost
+  TEND — letting a debugger re-check watch-points at transaction
+  boundaries while suppression hides the individual stores.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+class PerEventType(enum.Enum):
+    STORAGE_ALTERATION = "storage-alteration"
+    INSTRUCTION_FETCH = "instruction-fetch"
+    BRANCH = "branch"
+    TRANSACTION_END = "transaction-end"
+
+
+@dataclass(frozen=True)
+class PerEvent:
+    """One recognised PER event."""
+
+    event_type: PerEventType
+    address: int
+
+
+class PerControl:
+    """Per-CPU PER configuration and event recognition."""
+
+    def __init__(self) -> None:
+        self.storage_range: Optional[Tuple[int, int]] = None
+        self.ifetch_range: Optional[Tuple[int, int]] = None
+        self.branch_range: Optional[Tuple[int, int]] = None
+        #: Suppress PER events while in transactional mode (new for TX).
+        self.event_suppression = False
+        #: Raise a PER event on successful outermost TEND (new for TX).
+        self.tend_event = False
+
+    # -- configuration -----------------------------------------------------
+
+    def watch_storage(self, start: int, length: int) -> None:
+        self.storage_range = (start, start + length)
+
+    def watch_ifetch(self, start: int, length: int) -> None:
+        self.ifetch_range = (start, start + length)
+
+    def watch_branch(self, start: int, length: int) -> None:
+        self.branch_range = (start, start + length)
+
+    def clear(self) -> None:
+        self.storage_range = None
+        self.ifetch_range = None
+        self.branch_range = None
+        self.tend_event = False
+
+    @staticmethod
+    def _in_range(addr: int, bounds: Optional[Tuple[int, int]]) -> bool:
+        return bounds is not None and bounds[0] <= addr < bounds[1]
+
+    def _suppressed(self, in_transaction: bool) -> bool:
+        return self.event_suppression and in_transaction
+
+    # -- recognition ---------------------------------------------------------
+
+    def check_store(
+        self, addr: int, length: int, in_transaction: bool
+    ) -> Optional[PerEvent]:
+        """Storage-alteration event for a store of ``length`` at ``addr``."""
+        if self.storage_range is None or self._suppressed(in_transaction):
+            return None
+        lo, hi = self.storage_range
+        if addr < hi and addr + length > lo:
+            return PerEvent(PerEventType.STORAGE_ALTERATION, addr)
+
+    def check_ifetch(self, addr: int, in_transaction: bool) -> Optional[PerEvent]:
+        if self.ifetch_range is None or self._suppressed(in_transaction):
+            return None
+        if self._in_range(addr, self.ifetch_range):
+            return PerEvent(PerEventType.INSTRUCTION_FETCH, addr)
+
+    def check_branch(self, target: int, in_transaction: bool) -> Optional[PerEvent]:
+        if self.branch_range is None or self._suppressed(in_transaction):
+            return None
+        if self._in_range(target, self.branch_range):
+            return PerEvent(PerEventType.BRANCH, target)
+
+    def check_tend(self, tend_address: int) -> Optional[PerEvent]:
+        """The TEND event is *not* subject to event suppression — it exists
+        precisely so suppressed watch-points can be re-checked at commit."""
+        if self.tend_event:
+            return PerEvent(PerEventType.TRANSACTION_END, tend_address)

@@ -1,0 +1,43 @@
+"""PERFORM PROCESSOR ASSIST — TX-abort assist (PPA, function code TX).
+
+Before repeating a transaction after a transient abort, software should
+delay by an amount that grows with the abort count, randomised to break
+harmonic repeating conflicts between CPUs (section II.A). Because the
+optimal delay distribution depends on the machine generation and SMP
+configuration, the architecture provides PPA: the program passes the
+current abort count and the *machine* performs a configuration-appropriate
+random delay — so software never needs retuning for future machines.
+
+We model the millicode implementation as truncated random exponential
+back-off calibrated to the coherence-fabric latencies.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..params import Latencies
+
+
+class PpaAssist:
+    """The millicoded delay policy for one machine configuration."""
+
+    #: Cap on the exponent so the delay stays bounded.
+    MAX_EXPONENT = 6
+
+    def __init__(self, latencies: Latencies, rng: random.Random) -> None:
+        self._rng = rng
+        #: Base delay unit: roughly one contended line transfer.
+        self._unit = latencies.on_chip_intervention
+
+    def delay_cycles(self, abort_count: int) -> int:
+        """Random delay (cycles) for the given abort count.
+
+        Exponential in the abort count, uniformly randomised, and zero for
+        a zero count (first attempt needs no delay).
+        """
+        if abort_count <= 0:
+            return 0
+        exponent = min(abort_count, self.MAX_EXPONENT)
+        ceiling = self._unit * (1 << exponent)
+        return self._rng.randrange(self._unit, ceiling + 1)

@@ -1,0 +1,116 @@
+"""Transaction Diagnostic Block (TDB).
+
+The TDB is an optional 256-byte block named by the outermost TBEGIN. It is
+untouched during normal transaction processing; only when a transaction
+aborts (and a TDB address was specified) does millicode store detailed
+abort information into it (section II.E.1). A second copy is stored into
+the CPU's prefix area on every abort that causes a program interruption —
+used for post-mortem analysis.
+
+Layout (byte offsets, loosely following the Principles of Operation):
+
+====== ======= ==================================================
+offset length  field
+====== ======= ==================================================
+0      1       format (1 = valid TDB stored)
+1      1       flags (bit 0: conflict-token valid)
+6      2       transaction nesting depth at abort
+8      8       transaction abort code
+16     8       conflict token (line address of the conflicting XI)
+24     8       aborted-transaction instruction address
+32     1       exception access id (unused, 0)
+36     4       program interruption code (abort codes 4 and 12)
+40     8       translation exception address
+128    128     general registers 0-15 at abort (8 bytes each)
+====== ======= ==================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import MachineStateError
+from ..mem.memory import MainMemory
+from .abort import TransactionAbort
+
+TDB_SIZE = 256
+TDB_FORMAT_STORED = 1
+
+#: Byte offset of each CPU's prefix-area TDB copy; CPU ``n`` owns the
+#: 8 KB prefix page at ``PREFIX_AREA_BASE + n * 8192``, with the
+#: program-interruption TDB at offset 0x1800 within it.
+PREFIX_AREA_BASE = 0x7F00_0000
+PREFIX_PAGE_SIZE = 8192
+PREFIX_TDB_OFFSET = 0x1800
+
+
+@dataclass(frozen=True)
+class TdbView:
+    """Decoded contents of a stored TDB."""
+
+    format: int
+    conflict_token_valid: bool
+    nesting_depth: int
+    abort_code: int
+    conflict_token: int
+    aborted_ia: int
+    interruption_code: int
+    translation_address: int
+    general_registers: tuple
+
+    @property
+    def valid(self) -> bool:
+        return self.format == TDB_FORMAT_STORED
+
+
+def store_tdb(
+    memory: MainMemory,
+    address: int,
+    abort: TransactionAbort,
+    nesting_depth: int,
+    general_registers: Optional[List[int]] = None,
+) -> None:
+    """Serialise ``abort`` into the 256-byte TDB at ``address``.
+
+    This is the millicode path: "millicode then uses [the SPRs] to store a
+    TDB if one is specified".
+    """
+    if address % 8:
+        raise MachineStateError("TDB address must be doubleword aligned")
+    grs = list(general_registers or [0] * 16)
+    if len(grs) != 16:
+        raise MachineStateError("expected 16 general registers")
+    memory.write(address, b"\x00" * TDB_SIZE)
+    memory.write_int(address + 0, TDB_FORMAT_STORED, 1)
+    memory.write_int(address + 1, 0x80 if abort.conflict_token_valid else 0, 1)
+    memory.write_int(address + 6, nesting_depth, 2)
+    memory.write_int(address + 8, abort.code, 8)
+    memory.write_int(address + 16, abort.conflict_token or 0, 8)
+    memory.write_int(address + 24, abort.aborted_ia or 0, 8)
+    memory.write_int(address + 36, abort.interruption_code or 0, 4)
+    memory.write_int(address + 40, abort.translation_address or 0, 8)
+    for i, value in enumerate(grs):
+        memory.write_int(address + 128 + 8 * i, value, 8)
+
+
+def read_tdb(memory: MainMemory, address: int) -> TdbView:
+    """Decode a TDB previously stored by :func:`store_tdb`."""
+    return TdbView(
+        format=memory.read_int(address + 0, 1),
+        conflict_token_valid=bool(memory.read_int(address + 1, 1) & 0x80),
+        nesting_depth=memory.read_int(address + 6, 2),
+        abort_code=memory.read_int(address + 8, 8),
+        conflict_token=memory.read_int(address + 16, 8),
+        aborted_ia=memory.read_int(address + 24, 8),
+        interruption_code=memory.read_int(address + 36, 4),
+        translation_address=memory.read_int(address + 40, 8),
+        general_registers=tuple(
+            memory.read_int(address + 128 + 8 * i, 8) for i in range(16)
+        ),
+    )
+
+
+def prefix_tdb_address(cpu_id: int) -> int:
+    """Address of a CPU's prefix-area TDB copy (program-interruption aborts)."""
+    return PREFIX_AREA_BASE + cpu_id * PREFIX_PAGE_SIZE + PREFIX_TDB_OFFSET

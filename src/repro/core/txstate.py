@@ -1,0 +1,144 @@
+"""Per-CPU transactional-execution state.
+
+Tracks the transaction nesting depth (maximum 16, flattened nesting), the
+per-level TBEGIN controls and their *effective* combination across the
+nest (section II.B/II.C):
+
+* the effective AR-modification and FPR-modification controls are the AND
+  of all control bits in the nest;
+* the effective PIFC is the highest value of all TBEGINs in the nest;
+* the General-Register Save Mask, TDB address and the address/text of the
+  *outermost* TBEGIN are captured once, at the outermost TBEGIN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from ..errors import MachineStateError
+
+
+@dataclass(frozen=True)
+class TbeginControls:
+    """Operand controls of one TBEGIN/TBEGINC instruction."""
+
+    #: General-Register Save Mask: bit i covers the even/odd GR pair (2i, 2i+1).
+    grsm: int = 0xFF
+    allow_ar_modification: bool = True
+    allow_fpr_modification: bool = True
+    #: Program Interruption Filtering Control: 0 none, 1 group 4 only,
+    #: 2 groups 3 and 4.
+    pifc: int = 0
+    #: Transaction Diagnostic Block address (None = no TDB specified).
+    tdb_address: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.grsm <= 0xFF:
+            raise MachineStateError("GRSM must be an 8-bit mask")
+        if self.pifc not in (0, 1, 2):
+            raise MachineStateError("PIFC must be 0, 1 or 2")
+
+
+#: Controls implied by TBEGINC: "the FPR control and the program
+#: interruption filtering fields do not exist and the controls are
+#: considered to be zero" — i.e. FPR modification blocked, no filtering.
+CONSTRAINED_CONTROLS = TbeginControls(
+    grsm=0x00,
+    allow_ar_modification=False,
+    allow_fpr_modification=False,
+    pifc=0,
+    tdb_address=None,
+)
+
+
+@dataclass
+class TransactionState:
+    """Mutable transactional state of one CPU."""
+
+    max_nesting_depth: int = 16
+    depth: int = 0
+    constrained: bool = False
+    levels: List[TbeginControls] = field(default_factory=list)
+    #: Address of the outermost TBEGIN instruction (for abort PSW back-up).
+    tbegin_address: Optional[int] = None
+    #: Saved GR pairs: {pair_index: (even_value, odd_value)}.
+    gr_backup: dict = field(default_factory=dict)
+    #: Precise transactional read set (line addresses).
+    read_set: Set[int] = field(default_factory=set)
+    #: Octowords accessed, for the constrained footprint constraint.
+    octowords: Set[int] = field(default_factory=set)
+    #: Instructions executed inside the (constrained) transaction.
+    instruction_count: int = 0
+    #: XI rejects performed while in this transaction (stiff-arm counter).
+    xi_rejects: int = 0
+    #: Whether the Transaction Diagnostic Control already fired this tx.
+    diagnostic_abort_armed: bool = False
+
+    @property
+    def active(self) -> bool:
+        return self.depth > 0
+
+    def begin(self, controls: TbeginControls, constrained: bool) -> int:
+        """Push one nesting level; returns the new depth.
+
+        The caller is responsible for the architected error cases
+        (TBEGINC inside a constrained transaction is restricted; depth
+        overflow aborts with code 13).
+        """
+        if self.depth >= self.max_nesting_depth:
+            raise MachineStateError("nesting depth exceeded (caller must abort)")
+        self.depth += 1
+        self.levels.append(controls)
+        if self.depth == 1:
+            self.constrained = constrained
+        return self.depth
+
+    def end(self) -> int:
+        """Pop one nesting level (TEND); returns the remaining depth."""
+        if self.depth == 0:
+            raise MachineStateError("TEND outside a transaction")
+        self.depth -= 1
+        self.levels.pop()
+        return self.depth
+
+    def reset(self) -> None:
+        """Leave transactional mode (commit or abort completed)."""
+        self.depth = 0
+        self.constrained = False
+        self.levels.clear()
+        self.tbegin_address = None
+        self.gr_backup.clear()
+        self.read_set.clear()
+        self.octowords.clear()
+        self.instruction_count = 0
+        self.xi_rejects = 0
+        self.diagnostic_abort_armed = False
+
+    # -- effective controls across the nest ------------------------------------
+
+    @property
+    def effective_ar_allowed(self) -> bool:
+        """AND of all AR-modification controls in the nest."""
+        return all(c.allow_ar_modification for c in self.levels)
+
+    @property
+    def effective_fpr_allowed(self) -> bool:
+        """AND of all FPR-modification controls in the nest."""
+        return all(c.allow_fpr_modification for c in self.levels)
+
+    @property
+    def effective_pifc(self) -> int:
+        """Highest PIFC of all TBEGINs in the nest."""
+        return max((c.pifc for c in self.levels), default=0)
+
+    @property
+    def outermost(self) -> TbeginControls:
+        if not self.levels:
+            raise MachineStateError("no transaction in progress")
+        return self.levels[0]
+
+    @property
+    def tdb_address(self) -> Optional[int]:
+        """TDB address is taken from the outermost TBEGIN only."""
+        return self.outermost.tdb_address if self.levels else None

@@ -1,0 +1,17 @@
+"""CPU layer: registers, ISA, assembler, interpreter, OS model."""
+
+from .assembler import Located, Program, assemble
+from .interpreter import IsaCpu
+from .interrupts import InterruptionRecord, OsModel
+from .registers import Psw, RegisterFile
+
+__all__ = [
+    "Located",
+    "Program",
+    "assemble",
+    "IsaCpu",
+    "InterruptionRecord",
+    "OsModel",
+    "Psw",
+    "RegisterFile",
+]

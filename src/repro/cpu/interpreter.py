@@ -1,0 +1,542 @@
+"""Instruction interpreter: one simulated CPU executing a program.
+
+``IsaCpu.step()`` executes exactly one instruction and returns its latency
+in cycles. The scheduler (see :mod:`repro.sim.scheduler`) advances the
+CPU's local clock by that amount and interleaves CPUs in global-time
+order.
+
+Control-flow signals are resolved here, because this layer owns the
+architected registers:
+
+* :class:`~repro.core.engine.FetchRetry` (a stiff-armed line fetch)
+  propagates to the scheduler, which waits out the back-off and calls
+  ``step()`` again — the instruction address is unchanged, so the same
+  instruction re-executes, exactly like the hardware repeating a rejected
+  XI request.
+* :class:`~repro.errors.TransactionAbortSignal` enters the millicode abort
+  path: TDB store, GR-pair restore per the save mask, condition code 2/3,
+  PSW backed up to after the outermost TBEGIN (TBEGIN) or to the TBEGINC
+  itself (constrained, reflecting the immediate retry), plus the
+  constrained retry-escalation plan.
+* :class:`~repro.errors.ProgramInterruptionSignal` (outside transactions)
+  goes to the OS model and resumes at the program-old PSW.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..core.abort import TransactionAbort
+from ..core.engine import FetchRetry, TxEngine
+from ..core.filtering import InterruptionCode
+from ..core.txstate import TbeginControls
+from ..errors import (
+    MachineStateError,
+    ProgramInterruptionSignal,
+    TransactionAbortSignal,
+)
+from .assembler import Program
+from .interrupts import OsModel
+from .isa import Instruction, Mem
+from .registers import RegisterFile
+
+
+class IsaCpu:
+    """One CPU executing an assembled program against a TxEngine."""
+
+    def __init__(
+        self,
+        engine: TxEngine,
+        program: Program,
+        os_model: OsModel,
+        mark_sink: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.engine = engine
+        self.program = program
+        self.os = os_model
+        self.regs = RegisterFile()
+        self.regs.psw.instruction_address = program.entry
+        self.halted = False
+        self.mark_sink = mark_sink
+        #: IA currently being re-executed after a FetchRetry (so the
+        #: architected instruction count is not double-incremented).
+        self._retrying: Optional[int] = None
+        #: Aborts observed, for tests and statistics.
+        self.aborts: list = []
+        self.stats_instructions = 0
+
+    @property
+    def cpu_id(self) -> int:
+        return self.engine.cpu_id
+
+    @property
+    def done(self) -> bool:
+        """Scheduler contract: this CPU has no more work."""
+        return self.halted
+
+    # ------------------------------------------------------------------
+
+    def step(self) -> int:
+        """Execute one instruction; returns its latency in cycles."""
+        if self.halted:
+            return 0
+        ia = self.regs.psw.instruction_address
+        loc = self.program.at(ia)
+        if loc is None:
+            self.halted = True
+            return 0
+        insn = loc.instruction
+        try:
+            return self._execute(ia, insn)
+        except FetchRetry:
+            self._retrying = ia
+            raise
+        except TransactionAbortSignal as signal:
+            self._retrying = None
+            return self._handle_abort(signal.abort)
+        except ProgramInterruptionSignal as signal:
+            self._retrying = None
+            return self._handle_os_interruption(signal.interruption)
+
+    def _execute(self, ia: int, insn: Instruction) -> int:
+        engine = self.engine
+        if engine.per.ifetch_range is not None:
+            event = engine.per.check_ifetch(ia, engine.tx.active)
+            if event is not None:
+                engine.pending_per_event = event
+                engine._program_interruption(InterruptionCode.PER_EVENT, ia,
+                                             instruction_fetch=False)
+        if not insn.pseudo:
+            if self._retrying == ia:
+                engine.raise_if_pending()
+            else:
+                engine.note_instruction()
+        self._check_restrictions(ia, insn)
+        handler = self._DISPATCH.get(insn.mnemonic)
+        if handler is None:
+            raise MachineStateError(f"no handler for {insn.mnemonic}")
+        taken_target: Optional[int] = None
+        latency = handler(self, ia, insn)
+        if isinstance(latency, tuple):
+            latency, taken_target = latency
+        self._retrying = None
+        self.stats_instructions += 1
+        if taken_target is not None:
+            self._branch_to(taken_target)
+        else:
+            self.regs.psw.instruction_address = self.program.next_address(ia)
+        self._deliver_per_event()
+        return latency + self.engine.params.costs.base
+
+    def _branch_to(self, target: int) -> None:
+        engine = self.engine
+        if engine.per.branch_range is not None:
+            event = engine.per.check_branch(target, engine.tx.active)
+            if event is not None:
+                engine.pending_per_event = event
+        self.regs.psw.instruction_address = target
+
+    def _check_restrictions(self, ia: int, insn: Instruction) -> None:
+        engine = self.engine
+        if not engine.tx.active or insn.pseudo:
+            return
+        if engine.tx.constrained and insn.restricted_in_constrained:
+            engine.constraint_violation()
+        if insn.restricted_in_tx:
+            engine.restricted_instruction(ia)
+        if insn.modifies_ar and not engine.tx.effective_ar_allowed:
+            engine.restricted_instruction(ia)
+        if insn.modifies_fpr and not engine.tx.effective_fpr_allowed:
+            engine.restricted_instruction(ia)
+
+    def _deliver_per_event(self) -> None:
+        event = self.engine.pending_per_event
+        if event is not None:
+            self.engine.pending_per_event = None
+            self.os.note_per_event(event)
+
+    # ------------------------------------------------------------------
+    # abort / interruption paths
+    # ------------------------------------------------------------------
+
+    def _handle_abort(self, abort: TransactionAbort) -> int:
+        engine = self.engine
+        backup = dict(engine.tx.gr_backup)
+        tbegin_address = engine.tx.tbegin_address
+        constrained = engine.tx.constrained
+        abort_done, plan, latency = engine.process_abort(self.regs.snapshot_gr())
+        self.aborts.append(abort_done)
+        self.regs.restore_pairs(backup)
+        self.regs.psw.condition_code = abort_done.condition_code
+        if tbegin_address is None:
+            raise MachineStateError("abort without a recorded TBEGIN address")
+        if constrained:
+            # "the instruction address is set back directly to the TBEGINC
+            # ... reflecting the immediate retry and absence of an abort
+            # path for constrained transactions"
+            self.regs.psw.instruction_address = tbegin_address
+        else:
+            self.regs.psw.instruction_address = self.program.next_address(
+                tbegin_address
+            )
+        latency += plan.delay_cycles
+        if abort_done.interrupts_to_os:
+            if abort_done.interruption_code is not None:
+                latency += self.os.handle(
+                    self._interruption_from_abort(abort_done),
+                    self.regs.psw,
+                    self.cpu_id,
+                )
+            else:
+                # Asynchronous (external / I-O) interruption: the OS
+                # handler runs and redispatches at the program-old PSW.
+                latency += self.os.external_interruption(self.cpu_id)
+        return latency
+
+    @staticmethod
+    def _interruption_from_abort(abort: TransactionAbort):
+        from ..core.filtering import ProgramInterruption
+
+        return ProgramInterruption(
+            code=abort.interruption_code,
+            translation_address=abort.translation_address or 0,
+        )
+
+    def _handle_os_interruption(self, interruption) -> int:
+        """Non-transactional program interruption: OS services it and
+        returns to the program-old PSW (the faulting instruction for
+        nullifying exceptions, so it re-executes)."""
+        latency = self.os.handle(interruption, self.regs.psw, self.cpu_id)
+        if interruption.code != InterruptionCode.PAGE_TRANSLATION:
+            # Non-nullifying: skip past the failing instruction.
+            ia = self.regs.psw.instruction_address
+            self.regs.psw.instruction_address = self.program.next_address(ia)
+        return latency
+
+    # ------------------------------------------------------------------
+    # operand helpers
+    # ------------------------------------------------------------------
+
+    def _ea(self, mem: Mem) -> int:
+        addr = mem.disp
+        if mem.base is not None:
+            addr += self.regs.get_gr(mem.base)
+        if mem.index is not None:
+            addr += self.regs.get_gr(mem.index)
+        return addr
+
+    def _set_cc_signed(self, value: int) -> None:
+        if value == 0:
+            self.regs.psw.condition_code = 0
+        elif value < 0:
+            self.regs.psw.condition_code = 1
+        else:
+            self.regs.psw.condition_code = 2
+
+    # ------------------------------------------------------------------
+    # instruction semantics
+    # ------------------------------------------------------------------
+
+    def _op_lhi(self, ia, insn):
+        r, imm = insn.operands
+        self.regs.set_gr(r, imm)
+        return 0
+
+    def _op_ahi(self, ia, insn):
+        r, imm = insn.operands
+        result = self.regs.get_gr_signed(r) + imm
+        self.regs.set_gr(r, result)
+        self._set_cc_signed(result)
+        return 0
+
+    def _op_lr(self, ia, insn):
+        r1, r2 = insn.operands
+        self.regs.set_gr(r1, self.regs.get_gr(r2))
+        return 0
+
+    def _op_la(self, ia, insn):
+        r, mem = insn.operands
+        self.regs.set_gr(r, self._ea(mem))
+        return 0
+
+    def _op_agr(self, ia, insn):
+        r1, r2 = insn.operands
+        result = self.regs.get_gr_signed(r1) + self.regs.get_gr_signed(r2)
+        self.regs.set_gr(r1, result)
+        self._set_cc_signed(result)
+        return 0
+
+    def _op_sgr(self, ia, insn):
+        r1, r2 = insn.operands
+        result = self.regs.get_gr_signed(r1) - self.regs.get_gr_signed(r2)
+        self.regs.set_gr(r1, result)
+        self._set_cc_signed(result)
+        return 0
+
+    def _op_sll(self, ia, insn):
+        r, amount = insn.operands
+        self.regs.set_gr(r, self.regs.get_gr(r) << amount)
+        return 0
+
+    def _op_srl(self, ia, insn):
+        r, amount = insn.operands
+        self.regs.set_gr(r, self.regs.get_gr(r) >> amount)
+        return 0
+
+    def _op_cgr(self, ia, insn):
+        r1, r2 = insn.operands
+        a = self.regs.get_gr_signed(r1)
+        b = self.regs.get_gr_signed(r2)
+        self.regs.psw.condition_code = 0 if a == b else (1 if a < b else 2)
+        return 0
+
+    def _bitwise(self, insn, fn):
+        r1, r2 = insn.operands
+        result = fn(self.regs.get_gr(r1), self.regs.get_gr(r2))
+        self.regs.set_gr(r1, result)
+        self.regs.psw.condition_code = 0 if result == 0 else 1
+        return 0
+
+    def _op_ngr(self, ia, insn):
+        return self._bitwise(insn, lambda a, b: a & b)
+
+    def _op_ogr(self, ia, insn):
+        return self._bitwise(insn, lambda a, b: a | b)
+
+    def _op_xgr(self, ia, insn):
+        return self._bitwise(insn, lambda a, b: a ^ b)
+
+    def _op_msgr(self, ia, insn):
+        r1, r2 = insn.operands
+        self.regs.set_gr(r1, self.regs.get_gr(r1) * self.regs.get_gr(r2))
+        return 0
+
+    def _op_brct(self, ia, insn):
+        (r,) = insn.operands
+        value = (self.regs.get_gr(r) - 1) & ((1 << 64) - 1)
+        self.regs.set_gr(r, value)
+        if value != 0:
+            return (0, self.program.target_address(insn))
+        return 0
+
+    def _op_stck(self, ia, insn):
+        (mem,) = insn.operands
+        now = self.engine.fabric.clock()
+        return self.engine.store(self._ea(mem), now, 8)
+
+    def _op_lg(self, ia, insn):
+        r, mem = insn.operands
+        value, latency = self.engine.load(self._ea(mem), 8)
+        self.regs.set_gr(r, value)
+        return latency
+
+    def _op_ltg(self, ia, insn):
+        r, mem = insn.operands
+        value, latency = self.engine.load(self._ea(mem), 8)
+        self.regs.set_gr(r, value)
+        signed = value - (1 << 64) if value >> 63 else value
+        self._set_cc_signed(signed)
+        return latency
+
+    def _op_stg(self, ia, insn):
+        r, mem = insn.operands
+        return self.engine.store(self._ea(mem), self.regs.get_gr(r), 8)
+
+    def _op_csg(self, ia, insn):
+        r1, r3, mem = insn.operands
+        swapped, observed, latency = self.engine.compare_and_swap(
+            self._ea(mem), self.regs.get_gr(r1), self.regs.get_gr(r3), 8
+        )
+        if swapped:
+            self.regs.psw.condition_code = 0
+        else:
+            self.regs.set_gr(r1, observed)
+            self.regs.psw.condition_code = 1
+        return latency
+
+    def _op_agsi(self, ia, insn):
+        mem, imm = insn.operands
+        new_value, latency = self.engine.add_to_storage(self._ea(mem), imm, 8)
+        signed = new_value - (1 << 64) if new_value >> 63 else new_value
+        self._set_cc_signed(signed)
+        return latency
+
+    def _op_ntstg(self, ia, insn):
+        r, mem = insn.operands
+        return self.engine.ntstg(self._ea(mem), self.regs.get_gr(r))
+
+    def _op_dsg(self, ia, insn):
+        r1, r2 = insn.operands
+        divisor = self.regs.get_gr_signed(r2)
+        if divisor == 0:
+            self.engine._program_interruption(
+                InterruptionCode.FIXED_POINT_DIVIDE, 0
+            )
+            return 0  # non-tx path: OS resumed us; treat as no-op
+        self.regs.set_gr(r1, self.regs.get_gr_signed(r1) // divisor)
+        return 0
+
+    def _op_j(self, ia, insn):
+        return (0, self.program.target_address(insn))
+
+    def _op_brc(self, ia, insn):
+        (mask,) = insn.operands
+        cc = self.regs.psw.condition_code
+        if mask & (8 >> cc):
+            return (0, self.program.target_address(insn))
+        return 0
+
+    def _op_cij(self, ia, insn):
+        r, imm, mask = insn.operands
+        value = self.regs.get_gr_signed(r)
+        if value == imm:
+            cc = 0
+        elif value < imm:
+            cc = 1
+        else:
+            cc = 2
+        if mask & (8 >> cc):
+            return (0, self.program.target_address(insn))
+        return 0
+
+    def _op_tbegin(self, ia, insn):
+        tdb, grsm, ar_ok, fpr_ok, pifc = insn.operands
+        controls = TbeginControls(
+            grsm=grsm,
+            allow_ar_modification=ar_ok,
+            allow_fpr_modification=fpr_ok,
+            pifc=pifc,
+            tdb_address=tdb,
+        )
+        outermost = not self.engine.tx.active
+        latency = self.engine.tx_begin(controls, constrained=False, ia=ia)
+        if outermost:
+            self.engine.tx.gr_backup = self.regs.save_pairs(grsm)
+        self.regs.psw.condition_code = 0
+        return latency
+
+    def _op_tbeginc(self, ia, insn):
+        (grsm,) = insn.operands
+        controls = TbeginControls(
+            grsm=grsm,
+            allow_ar_modification=False,
+            allow_fpr_modification=False,
+            pifc=0,
+            tdb_address=None,
+        )
+        outermost = not self.engine.tx.active
+        latency = self.engine.tx_begin(controls, constrained=True, ia=ia)
+        if outermost:
+            self.engine.tx.gr_backup = self.regs.save_pairs(grsm)
+        self.regs.psw.condition_code = 0
+        return latency
+
+    def _op_tend(self, ia, insn):
+        if not self.engine.tx.active:
+            latency, _ = self.engine.tx_end(ia)
+            self.regs.psw.condition_code = 2
+            return latency
+        latency, _depth = self.engine.tx_end(ia)
+        self.regs.psw.condition_code = 0
+        return latency
+
+    def _op_tabort(self, ia, insn):
+        (code,) = insn.operands
+        if not self.engine.tx.active:
+            self.engine._program_interruption(InterruptionCode.SPECIFICATION)
+            return 0
+        self.engine.tx_abort(code, ia=ia)
+        return 0  # unreachable: tx_abort raises
+
+    def _op_etnd(self, ia, insn):
+        (r,) = insn.operands
+        latency, depth = self.engine.nesting_depth()
+        self.regs.set_gr(r, depth)
+        return latency
+
+    def _op_ppa(self, ia, insn):
+        (r,) = insn.operands
+        return self.engine.ppa_tx_assist(self.regs.get_gr(r))
+
+    def _op_nopr(self, ia, insn):
+        return 0
+
+    def _op_pause(self, ia, insn):
+        return insn.operands[0]
+
+    def _op_lpsw(self, ia, insn):
+        # Privileged; inside a transaction _check_restrictions aborted
+        # already. Outside, we model it as a slow serialising no-op.
+        return 20
+
+    def _op_ldr(self, ia, insn):
+        f1, f2 = insn.operands
+        self.regs.fpr[f1] = self.regs.fpr[f2]
+        return 0
+
+    def _op_sar(self, ia, insn):
+        ar, r = insn.operands
+        self.regs.ar[ar] = self.regs.get_gr(r) & 0xFFFFFFFF
+        return 0
+
+    def _op_random(self, ia, insn):
+        r, modulo = insn.operands
+        self.regs.set_gr(r, self.engine.rng.randrange(modulo))
+        return 0
+
+    def _op_mark_start(self, ia, insn):
+        if self.mark_sink is not None:
+            self.mark_sink("start")
+        return 0
+
+    def _op_mark_end(self, ia, insn):
+        if self.mark_sink is not None:
+            self.mark_sink("end")
+        return 0
+
+    def _op_halt(self, ia, insn):
+        self.halted = True
+        return 0
+
+    _DISPATCH: Dict[str, Callable] = {
+        "LHI": _op_lhi,
+        "AHI": _op_ahi,
+        "LR": _op_lr,
+        "LA": _op_la,
+        "AGR": _op_agr,
+        "SGR": _op_sgr,
+        "SLL": _op_sll,
+        "SRL": _op_srl,
+        "CGR": _op_cgr,
+        "NGR": _op_ngr,
+        "OGR": _op_ogr,
+        "XGR": _op_xgr,
+        "MSGR": _op_msgr,
+        "BRCT": _op_brct,
+        "STCK": _op_stck,
+        "LG": _op_lg,
+        "LTG": _op_ltg,
+        "STG": _op_stg,
+        "CSG": _op_csg,
+        "AGSI": _op_agsi,
+        "NTSTG": _op_ntstg,
+        "DSG": _op_dsg,
+        "J": _op_j,
+        "BRC": _op_brc,
+        "CIJ": _op_cij,
+        "TBEGIN": _op_tbegin,
+        "TBEGINC": _op_tbeginc,
+        "TEND": _op_tend,
+        "TABORT": _op_tabort,
+        "ETND": _op_etnd,
+        "PPA": _op_ppa,
+        "NOPR": _op_nopr,
+        "PAUSE": _op_pause,
+        "LPSW": _op_lpsw,
+        "LDR": _op_ldr,
+        "SAR": _op_sar,
+        "RANDOM": _op_random,
+        "MARK_START": _op_mark_start,
+        "MARK_END": _op_mark_end,
+        "HALT": _op_halt,
+    }

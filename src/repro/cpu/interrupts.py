@@ -1,0 +1,102 @@
+"""A minimal operating-system model for interruption handling.
+
+Models the z/Architecture program-interruption flow described in section
+II.C: the PSW at which the exception was detected is stored as the
+*program-old PSW*, the OS services the interruption (e.g. pages in memory
+from disk), and returns by reloading the program-old PSW.
+
+For a transaction abort with an unfiltered program interruption, the
+program-old PSW already points after the outermost TBEGIN with a non-zero
+condition code, "so that the program usually repeats the transaction
+immediately after the OS handled the interrupt".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..core.filtering import InterruptionCode, ProgramInterruption
+from ..core.per import PerEvent
+from ..errors import MachineStateError
+from ..mem.paging import PageTable
+from .registers import Psw
+
+
+@dataclass
+class InterruptionRecord:
+    """One OS-visible interruption, for tests and diagnostics."""
+
+    interruption: ProgramInterruption
+    old_psw: Psw
+    cpu_id: int
+
+
+class OsModel:
+    """Shared OS servicing program interruptions for all CPUs."""
+
+    #: Cycles to service a page fault (page-in from "disk" is actually
+    #: many microseconds; this is deliberately large relative to the
+    #: latency tiers).
+    PAGE_IN_COST = 20_000
+    #: Cycles for any other interruption round trip.
+    SERVICE_COST = 800
+
+    def __init__(self, page_table: PageTable) -> None:
+        self.page_table = page_table
+        self.interruptions: List[InterruptionRecord] = []
+        self.per_events: List[PerEvent] = []
+        self.external_interruptions = 0
+        #: Called for interruptions the OS cannot resolve (e.g. a
+        #: divide-by-zero with no handler); default raises.
+        self.on_fatal: Optional[Callable[[InterruptionRecord], None]] = None
+
+    def handle(self, interruption: ProgramInterruption, old_psw: Psw,
+               cpu_id: int) -> int:
+        """Service an interruption; returns the cycles consumed.
+
+        The caller resumes at the program-old PSW afterwards.
+        """
+        record = InterruptionRecord(interruption, old_psw.copy(), cpu_id)
+        self.interruptions.append(record)
+        code = interruption.code
+        if code == InterruptionCode.PAGE_TRANSLATION:
+            self.page_table.map(interruption.translation_address)
+            return self.PAGE_IN_COST
+        if code == InterruptionCode.PER_EVENT:
+            return self.SERVICE_COST
+        if code in (
+            InterruptionCode.FIXED_POINT_DIVIDE,
+            InterruptionCode.FIXED_POINT_OVERFLOW,
+            InterruptionCode.DATA,
+        ):
+            # Arithmetic exceptions: a real OS would deliver a signal; we
+            # simply resume (the program sees the operation as a no-op)
+            # unless a fatal handler is installed.
+            return self.SERVICE_COST
+        if code == InterruptionCode.TRANSACTION_CONSTRAINT:
+            if self.on_fatal is not None:
+                self.on_fatal(record)
+                return self.SERVICE_COST
+            raise MachineStateError(
+                f"CPU {cpu_id}: constrained-transaction constraint violation "
+                f"at IA 0x{old_psw.instruction_address:x}"
+            )
+        if self.on_fatal is not None:
+            self.on_fatal(record)
+            return self.SERVICE_COST
+        raise MachineStateError(
+            f"CPU {cpu_id}: unhandled program interruption code 0x{code:x}"
+        )
+
+    def external_interruption(self, cpu_id: int) -> int:
+        """Service an asynchronous (timer/I-O) interruption.
+
+        Not a program interruption: the OS simply runs its handler and
+        redispatches the program at the old PSW.
+        """
+        self.external_interruptions += 1
+        return self.SERVICE_COST
+
+    def note_per_event(self, event: PerEvent) -> None:
+        self.per_events.append(event)

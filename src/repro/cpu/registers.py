@@ -1,0 +1,86 @@
+"""Architected register state of one CPU.
+
+z/Architecture defines 16 64-bit General Registers (GRs), 16 32-bit Access
+Registers (ARs), 16 Floating-Point Registers (FPRs) and the Program Status
+Word (PSW) holding the instruction address and condition code.
+
+The transactional-memory facility saves/restores only the GR pairs named
+by the TBEGIN General-Register Save Mask; ARs and FPRs have *no*
+save/restore mechanism — instead TBEGIN provides modification-control bits
+that turn any AR/FPR-modifying instruction into a restricted-instruction
+abort (section II.B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..errors import MachineStateError
+
+MASK64 = (1 << 64) - 1
+
+
+@dataclass
+class Psw:
+    """Program Status Word (the parts we model)."""
+
+    instruction_address: int = 0
+    condition_code: int = 0
+    problem_state: bool = True
+
+    def copy(self) -> "Psw":
+        return Psw(self.instruction_address, self.condition_code,
+                   self.problem_state)
+
+
+class RegisterFile:
+    """GRs, ARs, FPRs and the PSW."""
+
+    def __init__(self) -> None:
+        self.gr: List[int] = [0] * 16
+        self.ar: List[int] = [0] * 16
+        self.fpr: List[float] = [0.0] * 16
+        self.psw = Psw()
+
+    # -- general registers ---------------------------------------------------
+
+    def get_gr(self, index: int) -> int:
+        return self.gr[self._check(index)]
+
+    def set_gr(self, index: int, value: int) -> None:
+        self.gr[self._check(index)] = value & MASK64
+
+    def get_gr_signed(self, index: int) -> int:
+        value = self.gr[self._check(index)]
+        return value - (1 << 64) if value >> 63 else value
+
+    @staticmethod
+    def _check(index: int) -> int:
+        if not 0 <= index <= 15:
+            raise MachineStateError(f"register index {index} out of range")
+        return index
+
+    # -- TBEGIN GR pair save/restore -----------------------------------------
+
+    def save_pairs(self, grsm: int) -> Dict[int, Tuple[int, int]]:
+        """Capture the even/odd GR pairs selected by the save mask.
+
+        Bit ``i`` (bit 0 = most significant, matching the instruction
+        field) covers the pair (2i, 2i+1).
+        """
+        backup: Dict[int, Tuple[int, int]] = {}
+        for pair in range(8):
+            if grsm & (0x80 >> pair):
+                backup[pair] = (self.gr[2 * pair], self.gr[2 * pair + 1])
+        return backup
+
+    def restore_pairs(self, backup: Dict[int, Tuple[int, int]]) -> None:
+        """Restore saved pairs on abort; unsaved GRs keep their values
+        ("modified state survives the abort" — useful for debugging)."""
+        for pair, (even, odd) in backup.items():
+            self.gr[2 * pair] = even
+            self.gr[2 * pair + 1] = odd
+
+    def snapshot_gr(self) -> List[int]:
+        return list(self.gr)

@@ -1,0 +1,80 @@
+"""Exception hierarchy for the zEC12 transactional-memory reproduction.
+
+Two kinds of exceptions flow through the simulator:
+
+* **Control-flow signals** (`TransactionAbortSignal`,
+  `ProgramInterruptionSignal`, `ConstraintViolationSignal`) — raised inside a
+  simulated CPU to unwind the currently executing instruction stream. They
+  are caught by the CPU driver and turned into architected behaviour
+  (condition codes, PSW swaps, millicode entry). User code never sees them
+  unless it drives a CPU manually.
+* **Usage errors** (`SimulationError` subclasses) — genuine mistakes by the
+  caller (bad configuration, malformed programs, protocol misuse). These
+  propagate to the user.
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for caller-visible errors raised by the simulator."""
+
+
+class ConfigurationError(SimulationError):
+    """A machine or workload was configured with invalid parameters."""
+
+
+class AssemblyError(SimulationError):
+    """A program could not be assembled (unknown label, bad operand...)."""
+
+
+class MachineStateError(SimulationError):
+    """An operation was attempted in an invalid machine state."""
+
+
+class ProtocolError(SimulationError):
+    """The coherence protocol reached a state that should be impossible.
+
+    Raised only on internal invariant violations; seeing one is a bug in the
+    simulator, never in user code.
+    """
+
+
+class ControlFlowSignal(Exception):
+    """Base class for intra-CPU control transfers (not user errors)."""
+
+
+class TransactionAbortSignal(ControlFlowSignal):
+    """Raised inside a CPU when the current transaction (nest) aborts.
+
+    Carries the architected abort information; the CPU driver converts it
+    into the architected effects (GR restore, CC, PSW back-up, TDB store).
+    """
+
+    def __init__(self, abort):
+        super().__init__(abort)
+        self.abort = abort
+
+
+class ProgramInterruptionSignal(ControlFlowSignal):
+    """Raised when a program-exception condition is recognised.
+
+    Depending on the transactional state and the effective PIFC this either
+    becomes an interruption into the (simulated) OS or a filtered abort.
+    """
+
+    def __init__(self, interruption):
+        super().__init__(interruption)
+        self.interruption = interruption
+
+
+class ConstraintViolationSignal(ControlFlowSignal):
+    """A constrained transaction violated one of its programming constraints.
+
+    Architecturally this is a non-filterable constraint-violation program
+    interruption.
+    """
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason

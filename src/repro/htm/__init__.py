@@ -1,0 +1,14 @@
+"""High-level HTM API and transactional data structures."""
+
+from .api import Ctx, HtmMachine, HtmThread, TransactionFailed
+from .datastructures import ConcurrentQueue, HashTable, Stack
+
+__all__ = [
+    "Ctx",
+    "HtmMachine",
+    "HtmThread",
+    "TransactionFailed",
+    "ConcurrentQueue",
+    "HashTable",
+    "Stack",
+]

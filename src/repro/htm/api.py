@@ -1,0 +1,349 @@
+"""High-level Pythonic HTM API over the simulated machine.
+
+ISA programs are the faithful way to drive the machine, but library users
+(and the hashtable / queue benchmarks) want to write workloads in Python.
+A *thread* is a generator function taking a :class:`Ctx`; it performs
+memory operations by ``yield from``-ing the Ctx helpers, which lets the
+discrete-event scheduler interleave threads at operation granularity::
+
+    def worker(ctx):
+        value = yield from ctx.load(COUNTER)
+        yield from ctx.store(COUNTER, value + 1)
+
+    machine = HtmMachine(params, n_cpus=2)
+    machine.spawn(worker)
+    machine.spawn(worker)
+    result = machine.run()
+
+Transactions wrap a *body* generator function and replay it on abort,
+implementing the Figure 1 retry policy (PPA back-off, retry threshold,
+lock-elision fallback) or the constrained semantics of Figure 3::
+
+    def add_item(ctx):
+        def body(t):
+            yield from t.store(addr, item)
+        yield from ctx.transaction(body, lock=LOCK_ADDR)   # elided lock
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional
+
+from ..core.abort import TransactionAbort
+from ..core.engine import FetchRetry, TxEngine
+from ..core.filtering import InterruptionCode
+from ..errors import (
+    MachineStateError,
+    ProgramInterruptionSignal,
+    SimulationError,
+    TransactionAbortSignal,
+)
+from ..params import MachineParams, ZEC12
+from ..sim.machine import Machine, MarkRecorder
+from ..sim.results import SimResult
+
+#: TABORT code for "elided lock observed busy" (even: transient, CC 2).
+LOCK_BUSY_ABORT_CODE = 256
+
+
+class TransactionFailed(SimulationError):
+    """A non-constrained transaction exhausted its retries and had no
+    fallback (programs using TBEGIN must provide a fallback path)."""
+
+    def __init__(self, abort: TransactionAbort) -> None:
+        super().__init__(abort.describe())
+        self.abort = abort
+
+
+class Ctx:
+    """Operation helpers handed to each HTM thread.
+
+    All helpers are generators and must be invoked with ``yield from``.
+    """
+
+    def __init__(self, engine: TxEngine, recorder: MarkRecorder,
+                 os_model=None) -> None:
+        self.engine = engine
+        self._recorder = recorder
+        self._os = os_model
+        #: Aborts this thread has processed (diagnostics/tests).
+        self.aborts: List[TransactionAbort] = []
+
+    @property
+    def cpu_id(self) -> int:
+        return self.engine.cpu_id
+
+    # -- memory operations -------------------------------------------------
+
+    def load(self, addr: int, length: int = 8):
+        """Load an unsigned big-endian integer."""
+        return (yield ("load", addr, length))
+
+    def load_ex(self, addr: int, length: int = 8):
+        """Load with store intent: the line is fetched exclusive, so a
+        following store to it has no read-only upgrade window."""
+        return (yield ("load_ex", addr, length))
+
+    def store(self, addr: int, value: int, length: int = 8):
+        """Store an integer."""
+        return (yield ("store", addr, value, length))
+
+    def add(self, addr: int, increment: int, length: int = 8):
+        """Interlocked add-to-storage; returns the new value."""
+        return (yield ("add", addr, increment, length))
+
+    def cas(self, addr: int, expected: int, new: int, length: int = 8):
+        """Compare-and-swap; returns True when the swap happened."""
+        return (yield ("cas", addr, expected, new, length))
+
+    def ntstg(self, addr: int, value: int):
+        """Non-transactional 8-byte store (survives aborts)."""
+        return (yield ("ntstg", addr, value))
+
+    def delay(self, cycles: int):
+        """Consume ``cycles`` of simulated time."""
+        return (yield ("delay", cycles))
+
+    def rand(self, modulo: int):
+        """Deterministic per-CPU random integer in [0, modulo)."""
+        return (yield ("rand", modulo))
+
+    # -- measurement -----------------------------------------------------------
+
+    def mark_start(self):
+        return (yield ("mark", "start"))
+
+    def mark_end(self):
+        return (yield ("mark", "end"))
+
+    # -- plain spin lock ---------------------------------------------------------
+
+    def lock(self, addr: int):
+        """Acquire a spin lock (test, then CAS, like the ISA baseline)."""
+        while True:
+            value = yield from self.load(addr)
+            if value == 0:
+                swapped = yield from self.cas(addr, 0, 1)
+                if swapped:
+                    return
+            yield from self.delay(20)
+
+    def unlock(self, addr: int):
+        yield from self.store(addr, 0)
+
+    # -- transactions ----------------------------------------------------------
+
+    def transaction(
+        self,
+        body: Callable[["Ctx"], Generator],
+        lock: Optional[int] = None,
+        fallback: Optional[Callable[["Ctx"], Generator]] = None,
+        max_retries: int = 6,
+        constrained: bool = False,
+        controls=None,
+    ):
+        """Run ``body`` transactionally with the Figure 1 retry policy.
+
+        * ``lock`` enables lock elision: the lock word joins the read set
+          and a busy lock TABORTs; the fallback path takes the lock.
+        * ``fallback`` (default: ``body``) runs non-transactionally after
+          CC 3 or ``max_retries`` transient aborts; requires ``lock``.
+        * ``constrained=True`` uses TBEGINC semantics: no retry limit, no
+          fallback — millicode escalation guarantees eventual success.
+
+        Returns the body's return value.
+        """
+        engine = self.engine
+        retry_count = 0
+        while True:
+            try:
+                cycles = engine.tx_begin(controls, constrained=constrained,
+                                         ia=0)
+                yield from self.delay(cycles)
+                if lock is not None:
+                    if (yield from self.load(lock)) != 0:
+                        engine.tx_abort(LOCK_BUSY_ABORT_CODE)
+                result = yield from body(self)
+                cycles, _depth = engine.tx_end(0)
+                yield from self.delay(cycles)
+                return result
+            except TransactionAbortSignal:
+                abort, plan, cost = engine.process_abort()
+                self.aborts.append(abort)
+                if abort.interrupts_to_os and self._os is not None:
+                    if abort.interruption_code is not None:
+                        # A program interruption (e.g. an unfiltered page
+                        # fault): the OS services it — paging the memory
+                        # in — before control returns after the TBEGIN,
+                        # so the retry can succeed.
+                        from ..core.filtering import ProgramInterruption
+
+                        cost += self._os.handle(
+                            ProgramInterruption(
+                                code=abort.interruption_code,
+                                translation_address=(
+                                    abort.translation_address or 0
+                                ),
+                            ),
+                            _FakePsw(),
+                            engine.cpu_id,
+                        )
+                    else:
+                        # Asynchronous (external/I-O) interruption.
+                        cost += self._os.external_interruption(engine.cpu_id)
+                yield from self.delay(cost + plan.delay_cycles)
+                if constrained:
+                    continue  # immediate retry at the TBEGINC
+                retry_count += 1
+                if abort.condition_code == 3 or retry_count >= max_retries:
+                    break
+                yield from self.delay(engine.ppa_tx_assist(retry_count))
+                if lock is not None:
+                    while (yield from self.load(lock)) != 0:
+                        yield from self.delay(20)
+
+        # Fallback path (non-transactional, under the lock).
+        handler = fallback if fallback is not None else body
+        if lock is None:
+            raise TransactionFailed(self.aborts[-1])
+        yield from self.lock(lock)
+        try:
+            result = yield from handler(self)
+        finally:
+            yield from self.unlock(lock)
+        return result
+
+    def constrained(self, body: Callable[["Ctx"], Generator]):
+        """Shorthand for a constrained transaction (Figure 3)."""
+        return (yield from self.transaction(body, constrained=True))
+
+
+class HtmThread:
+    """Driver adapting an HTM generator thread to the scheduler."""
+
+    def __init__(self, engine: TxEngine, recorder: MarkRecorder,
+                 fn: Callable[[Ctx], Generator], os_model) -> None:
+        self.engine = engine
+        self.ctx = Ctx(engine, recorder, os_model)
+        self._recorder = recorder
+        self._os = os_model
+        self._gen = fn(self.ctx)
+        self._resume = ("send", None)
+        self._pending_op = None
+        self.done = False
+        self.stats_instructions = 0
+
+    def step(self) -> int:
+        if self.done:
+            return 0
+        op = self._pending_op
+        retrying = op is not None
+        self._pending_op = None
+        if op is None:
+            op = self._advance()
+            if op is None:
+                return 0
+        try:
+            value, latency = self._execute(op, retrying)
+        except FetchRetry:
+            self._pending_op = op
+            raise
+        except TransactionAbortSignal as signal:
+            self._resume = ("throw", signal)
+            return 0
+        except ProgramInterruptionSignal as signal:
+            return self._handle_interruption(op, signal)
+        self._resume = ("send", value)
+        self.stats_instructions += 1
+        return latency
+
+    def _advance(self):
+        kind, payload = self._resume
+        try:
+            if kind == "send":
+                return self._gen.send(payload)
+            return self._gen.throw(payload)
+        except StopIteration:
+            self.done = True
+            return None
+        except TransactionAbortSignal as signal:
+            # The generator did not handle the abort (it escaped a bare
+            # body); surface it as a usage error.
+            self.done = True
+            raise MachineStateError(
+                f"unhandled transaction abort in HTM thread: "
+                f"{signal.abort.describe()}"
+            )
+
+    def _handle_interruption(self, op, signal: ProgramInterruptionSignal) -> int:
+        interruption = signal.interruption
+        latency = self._os.handle(interruption, _FakePsw(), self.engine.cpu_id)
+        if interruption.code == InterruptionCode.PAGE_TRANSLATION:
+            # Nullifying: re-execute the faulting operation after page-in.
+            self._pending_op = op
+        else:
+            self._resume = ("send", None)
+        return latency
+
+    def _execute(self, op, retrying: bool = False):
+        engine = self.engine
+        kind = op[0]
+        if kind != "mark":
+            if retrying:
+                # A re-executed (stiff-armed or faulted) operation is the
+                # same architected instruction — do not count it again,
+                # but still deliver pending aborts.
+                engine.raise_if_pending()
+            else:
+                engine.note_instruction()
+        if kind == "load":
+            _, addr, length = op
+            value, latency = engine.load(addr, length)
+            return value, latency
+        if kind == "load_ex":
+            _, addr, length = op
+            value, latency = engine.load(addr, length, exclusive=True)
+            return value, latency
+        if kind == "store":
+            _, addr, value, length = op
+            return None, engine.store(addr, value, length)
+        if kind == "add":
+            _, addr, increment, length = op
+            new_value, latency = engine.add_to_storage(addr, increment, length)
+            return new_value, latency
+        if kind == "cas":
+            _, addr, expected, new, length = op
+            swapped, _observed, latency = engine.compare_and_swap(
+                addr, expected, new, length
+            )
+            return swapped, latency
+        if kind == "ntstg":
+            _, addr, value = op
+            return None, engine.ntstg(addr, value)
+        if kind == "delay":
+            return None, max(int(op[1]), 0)
+        if kind == "rand":
+            return engine.rng.randrange(op[1]), 0
+        if kind == "mark":
+            self._recorder(op[1])
+            return None, 1
+        raise MachineStateError(f"unknown HTM op {kind!r}")
+
+
+class _FakePsw:
+    """Placeholder PSW for OS records from HTM threads (no ISA state)."""
+
+    instruction_address = 0
+    condition_code = 0
+
+    def copy(self):
+        return self
+
+
+class HtmMachine(Machine):
+    """A machine whose CPUs run HTM generator threads."""
+
+    def spawn(self, fn: Callable[[Ctx], Generator]) -> HtmThread:
+        return self.add_driver(
+            lambda engine, recorder: HtmThread(engine, recorder, fn, self.os)
+        )

@@ -1,0 +1,280 @@
+"""Transactional data structures on the simulated memory.
+
+These are the paper's software exploitation examples:
+
+* :class:`HashTable` — "the IBM Java team has prototyped ... automatically
+  elid[ing] locks used for Java synchronized sections ... such as
+  java/util/hashtable" (Figure 5(e)): every operation runs under either a
+  global lock or a TBEGIN lock-elision transaction with the global lock as
+  fallback.
+* :class:`ConcurrentQueue` — "the Java team has implemented the
+  ConcurrentLinkedQueue using constrained transactions. The throughput
+  using transactions exceeds locks by a factor of 2."
+* :class:`Stack` — the paper's opacity example (a pop that updates the
+  element count and the top pointer atomically).
+
+All structures store their state in simulated :class:`MainMemory` and
+express operations as HTM-thread generator bodies (see
+:mod:`repro.htm.api`).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..errors import ConfigurationError
+from ..mem.address import LINE_SIZE
+from .api import Ctx
+
+#: Sentinel for an empty hash-table slot.
+EMPTY = 0
+
+
+class HashTable:
+    """A fixed-capacity open-addressing hash table in simulated memory.
+
+    Layout: ``buckets`` cache lines, each holding ``SLOTS_PER_BUCKET``
+    (key, value) pairs of 8 bytes each. Keys are non-zero integers.
+    """
+
+    SLOTS_PER_BUCKET = 8  # 8 x (8B key + 8B value) = 128B of a 256B line
+
+    def __init__(self, base: int, buckets: int = 64,
+                 lock_addr: Optional[int] = None) -> None:
+        if buckets < 1:
+            raise ConfigurationError("need at least one bucket")
+        self.base = base
+        self.buckets = buckets
+        self.lock_addr = lock_addr if lock_addr is not None else base - LINE_SIZE
+
+    def _bucket_addr(self, key: int) -> int:
+        index = (key * 0x9E3779B97F4A7C15 >> 32) % self.buckets
+        return self.base + index * LINE_SIZE
+
+    def _slot_addr(self, bucket: int, slot: int) -> int:
+        return bucket + slot * 16
+
+    # -- transactional bodies ------------------------------------------------
+
+    def _put_body(self, key: int, value: int):
+        def body(t: Ctx) -> Generator:
+            bucket = self._bucket_addr(key)
+            free_slot = -1
+            for slot in range(self.SLOTS_PER_BUCKET):
+                addr = self._slot_addr(bucket, slot)
+                existing = yield from t.load(addr)
+                if existing == key:
+                    yield from t.store(addr + 8, value)
+                    return True
+                if existing == EMPTY and free_slot < 0:
+                    free_slot = slot
+            if free_slot < 0:
+                return False  # bucket full
+            addr = self._slot_addr(bucket, free_slot)
+            yield from t.store(addr, key)
+            yield from t.store(addr + 8, value)
+            return True
+
+        return body
+
+    def _get_body(self, key: int):
+        def body(t: Ctx) -> Generator:
+            bucket = self._bucket_addr(key)
+            for slot in range(self.SLOTS_PER_BUCKET):
+                addr = self._slot_addr(bucket, slot)
+                existing = yield from t.load(addr)
+                if existing == key:
+                    return (yield from t.load(addr + 8))
+            return None
+
+        return body
+
+    def _remove_body(self, key: int):
+        def body(t: Ctx) -> Generator:
+            bucket = self._bucket_addr(key)
+            for slot in range(self.SLOTS_PER_BUCKET):
+                addr = self._slot_addr(bucket, slot)
+                existing = yield from t.load(addr)
+                if existing == key:
+                    yield from t.store(addr, EMPTY)
+                    yield from t.store(addr + 8, 0)
+                    return True
+            return False
+
+        return body
+
+    # -- public operations: elided (transactional) or locked -------------------
+
+    def put(self, ctx: Ctx, key: int, value: int, elide: bool = True):
+        """Insert/update; ``elide=False`` uses the global lock directly."""
+        if key == EMPTY:
+            raise ConfigurationError("keys must be non-zero")
+        body = self._put_body(key, value)
+        if elide:
+            return (yield from ctx.transaction(body, lock=self.lock_addr))
+        return (yield from self._locked(ctx, body))
+
+    def get(self, ctx: Ctx, key: int, elide: bool = True):
+        body = self._get_body(key)
+        if elide:
+            return (yield from ctx.transaction(body, lock=self.lock_addr))
+        return (yield from self._locked(ctx, body))
+
+    def remove(self, ctx: Ctx, key: int, elide: bool = True):
+        body = self._remove_body(key)
+        if elide:
+            return (yield from ctx.transaction(body, lock=self.lock_addr))
+        return (yield from self._locked(ctx, body))
+
+    def _locked(self, ctx: Ctx, body):
+        yield from ctx.lock(self.lock_addr)
+        try:
+            result = yield from body(ctx)
+        finally:
+            yield from ctx.unlock(self.lock_addr)
+        return result
+
+
+class ConcurrentQueue:
+    """A Michael-Scott-style linked queue with constrained transactions.
+
+    Layout: the queue header (head pointer, tail pointer) lives on one
+    cache line; nodes are bump-allocated, one per cache line, each holding
+    (value, next). Enqueue/dequeue touch at most 3 octowords — within the
+    constrained-transaction footprint limit — so TBEGINC needs no fallback
+    path. The lock-based variant guards the same code with a spin lock.
+    """
+
+    def __init__(self, base: int, capacity: int = 4096,
+                 max_threads: int = 64) -> None:
+        # head, tail and the lock each get their own cache line — the real
+        # ConcurrentLinkedQueue pads exactly this way so enqueuers and
+        # dequeuers do not false-share.
+        self.header = base
+        self.lock_addr = base + 2 * LINE_SIZE
+        self.nodes_base = base + 3 * LINE_SIZE
+        self.capacity = capacity
+        self.max_threads = max_threads
+        #: Per-thread bump pointers (thread-local allocation, like a JVM
+        #: TLAB — node allocation causes no shared-memory traffic).
+        self._next_local: dict = {}
+
+    @property
+    def head_addr(self) -> int:
+        return self.header
+
+    @property
+    def tail_addr(self) -> int:
+        return self.header + LINE_SIZE
+
+    def _node_addr(self, index: int) -> int:
+        return self.nodes_base + index * LINE_SIZE
+
+    def initialize(self, ctx: Ctx):
+        """Install the dummy node (non-transactional setup)."""
+        dummy = self.nodes_base
+        yield from ctx.store(self.head_addr, dummy)
+        yield from ctx.store(self.tail_addr, dummy)
+
+    def _allocate(self, ctx: Ctx):
+        """Thread-local bump allocation (no shared-memory traffic)."""
+        per_thread = self.capacity // self.max_threads
+        if per_thread < 1:
+            raise ConfigurationError("capacity too small for max_threads")
+        local = self._next_local.get(ctx.cpu_id, 0)
+        if local >= per_thread:
+            raise ConfigurationError("queue node arena exhausted")
+        self._next_local[ctx.cpu_id] = local + 1
+        # Slot 0 of thread 0's arena is reserved for the dummy node.
+        index = 1 + ctx.cpu_id * per_thread + local
+        return self._node_addr(index)
+        yield  # pragma: no cover - makes this a generator like its callers
+
+    def enqueue(self, ctx: Ctx, value: int, use_tx: bool = True):
+        node = yield from self._allocate(ctx)
+        yield from ctx.store(node, value)        # node.value
+        yield from ctx.store(node + 8, 0)        # node.next = NULL
+
+        def body(t: Ctx) -> Generator:
+            tail = yield from t.load_ex(self.tail_addr)
+            yield from t.store(tail + 8, node)   # tail.next = node
+            yield from t.store(self.tail_addr, node)
+            return None
+
+        if use_tx:
+            yield from ctx.transaction(body, constrained=True)
+        else:
+            yield from ctx.lock(self.lock_addr)
+            try:
+                yield from body(ctx)
+            finally:
+                yield from ctx.unlock(self.lock_addr)
+
+    def dequeue(self, ctx: Ctx, use_tx: bool = True):
+        def body(t: Ctx) -> Generator:
+            head = yield from t.load_ex(self.head_addr)
+            nxt = yield from t.load(head + 8)
+            if nxt == 0:
+                return None                       # empty
+            value = yield from t.load(nxt)
+            yield from t.store(self.head_addr, nxt)
+            return value
+
+        if use_tx:
+            return (yield from ctx.transaction(body, constrained=True))
+        yield from ctx.lock(self.lock_addr)
+        try:
+            result = yield from body(ctx)
+        finally:
+            yield from ctx.unlock(self.lock_addr)
+        return result
+
+
+class Stack:
+    """The paper's opacity example: a counted stack.
+
+    ``pop`` updates the element count and the top-of-stack pointer
+    together; opacity guarantees that a concurrent transaction can never
+    observe ``count > 0`` with a NULL top pointer — even transiently in a
+    doomed ("zombie") transaction.
+    """
+
+    def __init__(self, base: int, capacity: int = 1024) -> None:
+        self.count_addr = base
+        self.top_addr = base + 8
+        self.lock_addr = base + 64
+        self.slots_base = base + LINE_SIZE
+        self.capacity = capacity
+
+    def _slot_addr(self, index: int) -> int:
+        return self.slots_base + index * LINE_SIZE
+
+    def push(self, ctx: Ctx, value: int):
+        def body(t: Ctx) -> Generator:
+            count = yield from t.load(self.count_addr)
+            if count >= self.capacity:
+                return False
+            slot = self._slot_addr(count)
+            yield from t.store(slot, value)
+            yield from t.store(self.top_addr, slot)
+            yield from t.store(self.count_addr, count + 1)
+            return True
+
+        return (yield from ctx.transaction(body, lock=self.lock_addr))
+
+    def pop(self, ctx: Ctx):
+        def body(t: Ctx) -> Generator:
+            count = yield from t.load(self.count_addr)
+            if count == 0:
+                return None
+            top = yield from t.load(self.top_addr)
+            value = yield from t.load(top)
+            new_count = count - 1
+            yield from t.store(self.count_addr, new_count)
+            if new_count == 0:
+                yield from t.store(self.top_addr, 0)  # NULL
+            else:
+                yield from t.store(self.top_addr, self._slot_addr(new_count - 1))
+            return value
+
+        return (yield from ctx.transaction(body, lock=self.lock_addr))

@@ -1,0 +1,52 @@
+"""Memory subsystem: caches, coherence fabric, store machinery, paging."""
+
+from .address import (
+    DOUBLEWORD,
+    LINE_SIZE,
+    OCTOWORD,
+    PAGE_SIZE,
+    line_address,
+    lines_touched,
+    octowords_touched,
+)
+from .directory import SetAssociativeDirectory
+from .fabric import CoherenceFabric, FetchOutcome
+from .l1 import L1Cache
+from .l2 import L2Cache
+from .line import DirectoryEntry, LineInfo, Ownership
+from .memory import MainMemory
+from .paging import PageTable
+from .shared import L3Cache, L4Cache, SharedCache
+from .storecache import BLOCK_SIZE, GatheringStoreCache, StoreCacheOverflow
+from .storequeue import StoreQueue
+from .xi import Xi, XiResponse, XiType
+
+__all__ = [
+    "DOUBLEWORD",
+    "LINE_SIZE",
+    "OCTOWORD",
+    "PAGE_SIZE",
+    "BLOCK_SIZE",
+    "line_address",
+    "lines_touched",
+    "octowords_touched",
+    "SetAssociativeDirectory",
+    "CoherenceFabric",
+    "FetchOutcome",
+    "L1Cache",
+    "L2Cache",
+    "L3Cache",
+    "L4Cache",
+    "SharedCache",
+    "DirectoryEntry",
+    "LineInfo",
+    "Ownership",
+    "MainMemory",
+    "PageTable",
+    "GatheringStoreCache",
+    "StoreCacheOverflow",
+    "StoreQueue",
+    "Xi",
+    "XiResponse",
+    "XiType",
+]

@@ -1,0 +1,128 @@
+"""Generic set-associative cache directory with true-LRU replacement.
+
+Used (with different geometries) for the L1 and L2 data caches and for the
+shared L3/L4 tag directories. Tracks presence and ownership state only —
+data values live in :class:`repro.mem.memory.MainMemory` plus the store
+machinery, because the L1/L2 are store-through and the architected image is
+always recoverable (see DESIGN.md, "Value storage").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional
+
+from ..errors import ProtocolError
+from ..params import CacheGeometry
+from .line import DirectoryEntry, Ownership
+
+
+class SetAssociativeDirectory:
+    """Tag directory: ``rows`` congruence classes x ``ways`` entries."""
+
+    def __init__(self, geometry: CacheGeometry, name: str = "cache") -> None:
+        self.geometry = geometry
+        self.name = name
+        # Rows materialise lazily: large shared caches (L3/L4) have tens
+        # of thousands of congruence classes, almost all of which stay
+        # empty in any given run.
+        self._rows: Dict[int, Dict[int, DirectoryEntry]] = {}
+        self._clock = 0
+
+    def _row(self, index: int) -> Dict[int, DirectoryEntry]:
+        row = self._rows.get(index)
+        if row is None:
+            row = {}
+            self._rows[index] = row
+        return row
+
+    # -- basic queries ----------------------------------------------------
+
+    def row_of(self, line: int) -> int:
+        return self.geometry.row_of(line)
+
+    def lookup(self, line: int) -> Optional[DirectoryEntry]:
+        """Find the entry for ``line``, without touching LRU state."""
+        row = self._rows.get(self.row_of(line))
+        return row.get(line) if row is not None else None
+
+    def contains(self, line: int) -> bool:
+        return self.lookup(line) is not None
+
+    def touch(self, entry: DirectoryEntry) -> None:
+        """Mark ``entry`` most recently used."""
+        self._clock += 1
+        entry.lru = self._clock
+
+    def row_entries(self, row: int) -> List[DirectoryEntry]:
+        return list(self._rows.get(row, {}).values())
+
+    def entries(self) -> Iterator[DirectoryEntry]:
+        for row in self._rows.values():
+            yield from row.values()
+
+    def occupancy(self) -> int:
+        """Total number of valid entries (for tests and statistics)."""
+        return sum(len(row) for row in self._rows.values())
+
+    # -- mutation ---------------------------------------------------------
+
+    def install(
+        self,
+        line: int,
+        state: Ownership,
+        evict: Optional[Callable[[DirectoryEntry], None]] = None,
+    ) -> DirectoryEntry:
+        """Install ``line``, evicting the row's LRU entry if the row is full.
+
+        ``evict`` is called with the victim entry *before* it is removed, so
+        the caller can cascade the eviction (LRU XIs, inclusivity, tx-read
+        LRU-extension updates). Returns the (new or refreshed) entry.
+        """
+        if state is Ownership.INVALID:
+            raise ProtocolError(f"{self.name}: cannot install an invalid line")
+        row = self._row(self.row_of(line))
+        entry = row.get(line)
+        if entry is None:
+            if len(row) >= self.geometry.ways:
+                victim = min(row.values(), key=lambda e: e.lru)
+                if evict is not None:
+                    evict(victim)
+                # The evict callback may itself have removed entries (e.g.
+                # an abort invalidating tx-dirty lines), so re-check.
+                row.pop(victim.line, None)
+            entry = DirectoryEntry(line=line, state=state)
+            row[line] = entry
+        else:
+            entry.state = state
+        self.touch(entry)
+        return entry
+
+    def remove(self, line: int) -> Optional[DirectoryEntry]:
+        """Invalidate ``line`` if present; returns the removed entry."""
+        row = self._rows.get(self.row_of(line))
+        return row.pop(line, None) if row is not None else None
+
+    def demote(self, line: int) -> None:
+        """Transition ``line`` from exclusive to read-only if present."""
+        entry = self.lookup(line)
+        if entry is not None:
+            entry.state = Ownership.READ_ONLY
+
+    def invalidate_where(
+        self, predicate: Callable[[DirectoryEntry], bool]
+    ) -> List[DirectoryEntry]:
+        """Remove all entries matching ``predicate``; returns them.
+
+        Used by the abort path: "all cache lines that were modified by the
+        transaction in the L1 ... have their valid bits turned off,
+        effectively removing them from the L1 cache instantaneously".
+        """
+        removed: List[DirectoryEntry] = []
+        for row in self._rows.values():
+            doomed = [line for line, e in row.items() if predicate(e)]
+            for line in doomed:
+                removed.append(row.pop(line))
+        return removed
+
+    def clear(self) -> None:
+        self._rows.clear()

@@ -1,0 +1,422 @@
+"""The SMP coherence fabric.
+
+Implements the hierarchical cross-interrogate (XI) protocol of section
+III.A over the configured chip/MCM topology:
+
+* lines are owned read-only (shared) or exclusive by CPUs;
+* a requester missing its L1/L2 asks its chip L3, which XIs the current
+  owner(s); misses walk out to the L4 and the neighbouring L4s;
+* exclusive and demote XIs may be **rejected** by the target (stiff-arm);
+  the fabric then tells the requester to back off and retry;
+* evictions at inclusive levels cascade LRU XIs downward.
+
+The fabric is the single authority for *where lines live*; the per-CPU
+transaction engines own the *conflict semantics* (they decide whether an
+incoming XI is rejected, accepted, or aborts their transaction) via the
+``CpuPort`` protocol below.
+
+Fetch latency is determined by the source of the data (own L1/L2, a
+sibling core's cache, the chip L3, the MCM L4, a remote MCM, or memory),
+using :class:`repro.params.Latencies`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ProtocolError
+from ..params import MachineParams
+from .line import LineInfo, Ownership
+from .shared import L3Cache, L4Cache
+from .xi import Xi, XiResponse, XiType
+
+
+@dataclass(frozen=True)
+class FetchOutcome:
+    """Result of one fetch attempt."""
+
+    done: bool
+    latency: int
+    source: str  # "l1", "l2", "intervention", "l3", "l4", "remote", "memory", "reject"
+
+
+class CpuPort:
+    """Interface each CPU's transaction engine presents to the fabric.
+
+    The engine subclasses/implements this; the base class documents the
+    contract and provides storage for the pieces the fabric manipulates.
+    """
+
+    cpu_id: int
+    l1 = None  # L1Cache
+    l2 = None  # L2Cache
+
+    def receive_xi(self, xi: Xi) -> Tuple[XiResponse, int]:
+        """Process an incoming XI; returns (response, extra latency).
+
+        On ACCEPT the engine must have updated its own L1/L2 directory
+        state (invalidate or demote). Read-only and LRU XIs must always be
+        accepted (they are not rejectable).
+        """
+        raise NotImplementedError
+
+    def note_l1_eviction(self, entry) -> None:
+        """An L1 line was evicted by LRU replacement (line stays in L2)."""
+        raise NotImplementedError
+
+    def note_l2_eviction(self, line: int) -> None:
+        """A line left the private L2 entirely (footprint-overflow check)."""
+        raise NotImplementedError
+
+
+class CoherenceFabric:
+    """Directory-style coherence over all CPUs, L3s and L4s."""
+
+    def __init__(self, params: MachineParams) -> None:
+        self.params = params
+        self.topology = params.topology
+        self.lat = params.latencies
+        #: Simulated-time source (wired to the scheduler by the machine);
+        #: used to serialise per-line transfers on the interconnect.
+        self.clock = lambda: 0
+        self._ports: List[CpuPort] = []
+        self._lines: Dict[int, LineInfo] = {}
+        chips = self.topology.chip_of(self.topology.total_cores - 1) + 1
+        self.l3s = [L3Cache(params.l3, chip) for chip in range(chips)]
+        self.l4s = [L4Cache(params.l4, mcm) for mcm in range(self.topology.mcms)]
+        # statistics
+        self.stats_fetches = 0
+        self.stats_rejects = 0
+        self.stats_xis = 0
+
+    # -- registration -------------------------------------------------------
+
+    def register(self, port: CpuPort) -> None:
+        if port.cpu_id != len(self._ports):
+            raise ProtocolError("CPUs must register in id order")
+        if port.cpu_id >= self.topology.total_cores:
+            raise ProtocolError("more CPUs than the topology supports")
+        self._ports.append(port)
+
+    @property
+    def cpu_count(self) -> int:
+        return len(self._ports)
+
+    def line_info(self, line: int) -> LineInfo:
+        info = self._lines.get(line)
+        if info is None:
+            info = LineInfo()
+            self._lines[line] = info
+        return info
+
+    # -- fetch path -----------------------------------------------------------
+
+    def try_fetch(self, cpu: int, line: int, exclusive: bool) -> FetchOutcome:
+        """One attempt to obtain ``line`` for ``cpu``.
+
+        Returns a done outcome on success, or a not-done outcome whose
+        latency is the back-off delay after a rejected XI (the caller —
+        the CPU driver — repeats the fetch, letting simulated time advance
+        so the stiff-arming target can make progress).
+        """
+        self.stats_fetches += 1
+        port = self._ports[cpu]
+        info = self.line_info(line)
+        entry = port.l1.directory.lookup(line)
+
+        # L1 hit with sufficient ownership.
+        if entry is not None and self._sufficient(entry.state, exclusive):
+            port.l1.directory.touch(entry)
+            return FetchOutcome(True, self.lat.l1_hit, "l1")
+
+        # Read-only upgrade: we own it RO, need exclusive. Other RO owners
+        # get (non-rejectable) read-only XIs.
+        if exclusive and cpu in info.ro_owners:
+            latency = self.lat.l1_hit if entry is not None else self.lat.l2_hit
+            latency += self._invalidate_ro_owners(line, info, except_cpu=cpu)
+            info.ro_owners.discard(cpu)
+            info.ex_owner = cpu
+            self._set_private_state(port, line, Ownership.EXCLUSIVE)
+            return FetchOutcome(True, latency, "upgrade")
+
+        # L2 hit with sufficient ownership: refill the L1.
+        l2_entry = port.l2.directory.lookup(line)
+        if l2_entry is not None and self._sufficient(l2_entry.state, exclusive):
+            port.l2.directory.touch(l2_entry)
+            self._install_l1(port, line, l2_entry.state)
+            return FetchOutcome(True, self.lat.l2_hit, "l2")
+
+        # Full miss: the line must come from another CPU, a shared cache,
+        # or memory. A line still in flight from a previous transfer
+        # cannot be handed over yet — the requester backs off until the
+        # interconnect frees up (this is what serialises a hot line under
+        # heavy contention).
+        now = self.clock()
+        if now < info.busy_until:
+            return FetchOutcome(False, info.busy_until - now, "busy")
+        want = Ownership.EXCLUSIVE if exclusive else Ownership.READ_ONLY
+        latency = 0
+        source = "memory"
+
+        if info.ex_owner >= 0 and info.ex_owner != cpu:
+            owner = info.ex_owner
+            xi_type = XiType.EXCLUSIVE if exclusive else XiType.DEMOTE
+            response, extra = self._send_xi(Xi(xi_type, line, cpu, owner))
+            if response is XiResponse.REJECT:
+                self.stats_rejects += 1
+                return FetchOutcome(False, self.lat.xi_reject_retry, "reject")
+            # Target accepted (it updated its own directories).
+            if xi_type is XiType.EXCLUSIVE:
+                if info.ex_owner == owner:
+                    info.ex_owner = -1
+            else:
+                if info.ex_owner == owner:
+                    info.ex_owner = -1
+                    info.ro_owners.add(owner)
+            latency += self.lat.xi_round_trip + extra
+            latency += self._distance_latency(cpu, owner)
+            source = "intervention"
+        else:
+            if exclusive:
+                latency += self._invalidate_ro_owners(line, info, except_cpu=cpu)
+            latency += self._shared_source_latency(cpu, line)
+            source = self._shared_source_name(cpu, line)
+
+        # Grant ownership and install everywhere (inclusive hierarchy).
+        info.busy_until = now + latency
+        if exclusive:
+            info.ro_owners.discard(cpu)
+            info.ex_owner = cpu
+            self._purge_other_shared(cpu, line)
+        else:
+            info.ro_owners.add(cpu)
+        self._install_shared(cpu, line)
+        self._install_l2(port, line, want)
+        self._install_l1(port, line, want)
+        return FetchOutcome(True, latency, source)
+
+    @staticmethod
+    def _sufficient(state: Ownership, exclusive: bool) -> bool:
+        if exclusive:
+            return state is Ownership.EXCLUSIVE
+        return state.grants_load()
+
+    def probe_latency(self, cpu: int, line: int, exclusive: bool) -> int:
+        """Estimate the fetch latency without performing the fetch.
+
+        Used by the engines to model the interconnect *wait* separately
+        from the ownership *transfer*: the line only changes hands when
+        the data actually arrives, so a transaction is not exposed to
+        conflicts on a line it is still waiting for. No XIs are sent and
+        no state is modified.
+        """
+        port = self._ports[cpu]
+        entry = port.l1.directory.lookup(line)
+        if entry is not None and self._sufficient(entry.state, exclusive):
+            return self.lat.l1_hit
+        if exclusive and cpu in self.line_info(line).ro_owners:
+            base = self.lat.l1_hit if entry is not None else self.lat.l2_hit
+            return base + self.lat.xi_round_trip
+        l2_entry = port.l2.directory.lookup(line)
+        if l2_entry is not None and self._sufficient(l2_entry.state, exclusive):
+            return self.lat.l2_hit
+        info = self._lines.get(line)
+        if info is not None and info.ex_owner >= 0 and info.ex_owner != cpu:
+            return self.lat.xi_round_trip + self._distance_latency(
+                cpu, info.ex_owner
+            )
+        latency = self._shared_probe_latency(cpu, line)
+        if exclusive and info is not None and info.ro_owners - {cpu}:
+            latency += self.lat.xi_round_trip
+        return latency
+
+    def _shared_probe_latency(self, cpu: int, line: int) -> int:
+        """Like :meth:`_shared_source_latency` but without LRU touches."""
+        info = self._lines.get(line)
+        if info is not None and any(o != cpu for o in info.ro_owners):
+            nearest = min(
+                {"chip": 0, "mcm": 1, "remote": 2}[self.topology.distance(cpu, o)]
+                for o in info.ro_owners
+                if o != cpu
+            )
+            return (
+                self.lat.on_chip_intervention,
+                self.lat.same_mcm,
+                self.lat.cross_mcm,
+            )[nearest]
+        if self._l3_of(cpu).contains(line):
+            return self.lat.l3_hit
+        if self._l4_of(cpu).contains(line):
+            return self.lat.same_mcm
+        for l4 in self.l4s:
+            if l4.mcm != self.topology.mcm_of(cpu) and l4.contains(line):
+                return self.lat.cross_mcm
+        return self.lat.memory
+
+    # -- XI delivery ------------------------------------------------------------
+
+    def _send_xi(self, xi: Xi) -> Tuple[XiResponse, int]:
+        self.stats_xis += 1
+        response, extra = self._ports[xi.target].receive_xi(xi)
+        if response is XiResponse.REJECT and not xi.xi_type.rejectable:
+            raise ProtocolError(f"{xi.xi_type} XI cannot be rejected")
+        return response, extra
+
+    def _invalidate_ro_owners(self, line: int, info: LineInfo, except_cpu: int) -> int:
+        """Send read-only XIs to every RO owner; returns added latency."""
+        latency = 0
+        for owner in sorted(info.ro_owners):
+            if owner == except_cpu:
+                continue
+            self._send_xi(Xi(XiType.READ_ONLY, line, except_cpu, owner))
+            latency = self.lat.xi_round_trip  # overlapped, charge once
+        info.ro_owners = {o for o in info.ro_owners if o == except_cpu}
+        return latency
+
+    # -- private-cache installation with eviction cascades ------------------------
+
+    def _set_private_state(self, port: CpuPort, line: int, state: Ownership) -> None:
+        for directory in (port.l1.directory, port.l2.directory):
+            entry = directory.lookup(line)
+            if entry is not None:
+                entry.state = state
+
+    def _install_l1(self, port: CpuPort, line: int, state: Ownership) -> None:
+        def evict(victim) -> None:
+            port.note_l1_eviction(victim)
+
+        port.l1.directory.install(line, state, evict=evict)
+
+    def _install_l2(self, port: CpuPort, line: int, state: Ownership) -> None:
+        def evict(victim) -> None:
+            self._evict_from_private(port, victim.line)
+
+        port.l2.directory.install(line, state, evict=evict)
+
+    def _evict_from_private(self, port: CpuPort, line: int) -> None:
+        """A line leaves a CPU's L2 (and, by inclusivity, its L1)."""
+        l1_entry = port.l1.directory.remove(line)
+        if l1_entry is not None:
+            # The line is leaving the hierarchy entirely, so the
+            # LRU-extension trick cannot save the footprint; the engine's
+            # note_l2_eviction performs the overflow check.
+            pass
+        info = self.line_info(line)
+        info.ro_owners.discard(port.cpu_id)
+        if info.ex_owner == port.cpu_id:
+            info.ex_owner = -1
+        port.note_l2_eviction(line)
+
+    # -- shared caches ------------------------------------------------------------
+
+    def _l3_of(self, cpu: int) -> L3Cache:
+        return self.l3s[self.topology.chip_of(cpu)]
+
+    def _l4_of(self, cpu: int) -> L4Cache:
+        return self.l4s[self.topology.mcm_of(cpu)]
+
+    def _install_shared(self, cpu: int, line: int) -> None:
+        self._l3_of(cpu).install(line, lambda victim: self._lru_cascade_l3(cpu, victim))
+        self._l4_of(cpu).install(line, lambda victim: self._lru_cascade_l4(cpu, victim))
+
+    def _purge_other_shared(self, cpu: int, line: int) -> None:
+        """On exclusive acquisition, stale copies leave other L3s/L4s."""
+        my_chip = self.topology.chip_of(cpu)
+        my_mcm = self.topology.mcm_of(cpu)
+        for l3 in self.l3s:
+            if l3.chip != my_chip:
+                l3.remove(line)
+        for l4 in self.l4s:
+            if l4.mcm != my_mcm:
+                l4.remove(line)
+
+    def _lru_cascade_l3(self, cpu: int, victim: int) -> None:
+        """An L3 eviction sends LRU XIs to the cores under that chip."""
+        chip = self.topology.chip_of(cpu)
+        self._lru_xi_below(victim, lambda c: self.topology.chip_of(c) == chip)
+
+    def _lru_cascade_l4(self, cpu: int, victim: int) -> None:
+        """An L4 eviction empties the MCM: L3s below and their cores."""
+        mcm = self.topology.mcm_of(cpu)
+        for l3 in self.l3s:
+            if self.topology.mcm_of(l3.chip * self.topology.cores_per_chip) == mcm:
+                l3.remove(victim)
+        self._lru_xi_below(victim, lambda c: self.topology.mcm_of(c) == mcm)
+
+    def _lru_xi_below(self, line: int, in_scope) -> None:
+        info = self._lines.get(line)
+        if info is None:
+            return
+        for owner in sorted(info.owners()):
+            if owner >= len(self._ports) or not in_scope(owner):
+                continue
+            port = self._ports[owner]
+            self._send_xi(Xi(XiType.LRU, line, -1, owner))
+            info.ro_owners.discard(owner)
+            if info.ex_owner == owner:
+                info.ex_owner = -1
+
+    # -- latency classification -------------------------------------------------
+
+    def _distance_latency(self, cpu: int, other: int) -> int:
+        distance = self.topology.distance(cpu, other)
+        if distance == "chip":
+            return self.lat.on_chip_intervention
+        if distance == "mcm":
+            return self.lat.same_mcm
+        return self.lat.cross_mcm
+
+    def _shared_source_latency(self, cpu: int, line: int) -> int:
+        name = self._shared_source_name(cpu, line)
+        return {
+            "l3": self.lat.l3_hit,
+            "l4": self.lat.same_mcm,
+            "remote": self.lat.cross_mcm,
+            "memory": self.lat.memory,
+            "intervention": self.lat.on_chip_intervention,
+        }[name]
+
+    def _shared_source_name(self, cpu: int, line: int) -> str:
+        info = self._lines.get(line)
+        if info is not None and info.ro_owners:
+            # Another core holds it read-only; the nearest copy sources it.
+            nearest = min(
+                (o for o in info.ro_owners if o != cpu),
+                key=lambda o: {"chip": 0, "mcm": 1, "remote": 2}[
+                    self.topology.distance(cpu, o)
+                ],
+                default=None,
+            )
+            if nearest is not None:
+                distance = self.topology.distance(cpu, nearest)
+                if distance == "chip":
+                    return "intervention"
+                if distance == "mcm":
+                    return "l4"
+                return "remote"
+        if self._l3_of(cpu).touch(line):
+            return "l3"
+        if self._l4_of(cpu).touch(line):
+            return "l4"
+        for l4 in self.l4s:
+            if l4.mcm != self.topology.mcm_of(cpu) and l4.contains(line):
+                return "remote"
+        return "memory"
+
+    # -- ownership fix-ups used by the engines ------------------------------------
+
+    def drop_l1_copy(self, cpu: int, line: int) -> None:
+        """Abort path: a tx-dirty line leaves the L1 (it stays in the L2)."""
+        self._ports[cpu].l1.directory.remove(line)
+
+    def release_line(self, cpu: int, line: int) -> None:
+        """Remove ``line`` from a CPU's private caches and the ownership map."""
+        port = self._ports[cpu]
+        port.l1.directory.remove(line)
+        port.l2.directory.remove(line)
+        info = self._lines.get(line)
+        if info is not None:
+            info.ro_owners.discard(cpu)
+            if info.ex_owner == cpu:
+                info.ex_owner = -1

@@ -1,0 +1,131 @@
+"""L1 data cache model with transactional directory bits.
+
+The zEC12 L1 is a 96KB, 6-way, 256-byte-line store-through cache (64
+congruence classes). For transactional memory the directory's valid bits
+were moved into logic latches and supplemented with per-line ``tx_read``
+and ``tx_dirty`` bits (section III.C of the paper).
+
+The **LRU-extension vector** is the paper's mechanism for widening the
+transactional read footprint beyond L1 capacity: when a line with an active
+``tx_read`` bit is LRU'ed out of the L1, a per-row bit remembers that a
+tx-read line existed in that congruence class. Because no precise address
+tracking exists for the extension, *any* non-rejected XI that hits a valid
+extension row aborts the transaction. The footprint limit thereby moves
+from the L1 size/associativity (64x6) to the L2's (512x8) — the comparison
+shown in Figure 5(f).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..params import CacheGeometry, L1_GEOMETRY
+from .directory import SetAssociativeDirectory
+from .line import DirectoryEntry, Ownership
+
+
+class L1Cache:
+    """Private L1 directory plus the transactional LRU-extension vector."""
+
+    def __init__(
+        self,
+        geometry: CacheGeometry = L1_GEOMETRY,
+        lru_extension_enabled: bool = True,
+    ) -> None:
+        self.directory = SetAssociativeDirectory(geometry, name="L1")
+        self.lru_extension_enabled = lru_extension_enabled
+        self._extension: List[bool] = [False] * geometry.rows
+        #: Set when a tx-read line is evicted while the extension is
+        #: disabled — the footprint can no longer be tracked at all.
+        self.footprint_lost = False
+
+    # -- transactional lifecycle ------------------------------------------
+
+    def begin_transaction(self) -> None:
+        """Reset tx bits and the extension vector at the outermost TBEGIN.
+
+        "The tx-read bits are reset when a new outermost TBEGIN is decoded."
+        """
+        for entry in self.directory.entries():
+            entry.clear_tx()
+        self._extension = [False] * self.directory.geometry.rows
+        self.footprint_lost = False
+
+    def end_transaction(self) -> None:
+        """Clear tx marks on successful TEND; dirty lines become normal."""
+        self.begin_transaction()
+
+    def abort_transaction(self) -> List[DirectoryEntry]:
+        """Invalidate tx-dirty lines ("valid bits turned off ... removing
+        them from the L1 cache instantaneously") and reset tx state.
+
+        Returns the invalidated entries so the caller can fix up fabric
+        ownership.
+        """
+        killed = self.directory.invalidate_where(lambda e: e.tx_dirty)
+        self.begin_transaction()
+        return killed
+
+    # -- access marking ----------------------------------------------------
+
+    def mark_tx_read(self, line: int) -> None:
+        entry = self.directory.lookup(line)
+        if entry is not None:
+            entry.tx_read = True
+
+    def mark_tx_dirty(self, line: int) -> None:
+        entry = self.directory.lookup(line)
+        if entry is not None:
+            entry.tx_dirty = True
+
+    # -- eviction ----------------------------------------------------------
+
+    def note_eviction(self, victim: DirectoryEntry) -> None:
+        """Handle the transactional side of an L1 LRU eviction.
+
+        tx-read lines feed the LRU-extension vector (or lose the footprint
+        entirely when the extension is disabled). tx-dirty lines need no
+        action: the store cache tracks the write set precisely and the line
+        stays resident in the L2 ("No LRU-extension action needs to be
+        performed when a tx-dirty cache line is LRU'ed from the L1").
+        """
+        if not victim.tx_read:
+            return
+        if self.lru_extension_enabled:
+            self._extension[self.directory.row_of(victim.line)] = True
+        else:
+            self.footprint_lost = True
+
+    # -- XI-side conflict checks --------------------------------------------
+
+    def extension_hit(self, line: int) -> bool:
+        """True if an XI to ``line`` lands on a valid extension row."""
+        return (
+            self.lru_extension_enabled
+            and self._extension[self.directory.row_of(line)]
+        )
+
+    def read_set_conflict(self, line: int) -> bool:
+        """Would an invalidating XI to ``line`` violate the read set?
+
+        Checks the precise tx-read bit first, then the imprecise
+        LRU-extension row.
+        """
+        entry = self.directory.lookup(line)
+        if entry is not None and entry.tx_read:
+            return True
+        return self.extension_hit(line)
+
+    def write_set_conflict(self, line: int) -> bool:
+        """Would an XI to ``line`` hit a transactionally dirty L1 line?"""
+        entry = self.directory.lookup(line)
+        return entry is not None and entry.tx_dirty
+
+    # -- introspection -------------------------------------------------------
+
+    def extension_rows(self) -> int:
+        """Number of rows currently marked in the extension vector."""
+        return sum(self._extension)
+
+    def lookup(self, line: int) -> Optional[DirectoryEntry]:
+        return self.directory.lookup(line)

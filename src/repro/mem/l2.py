@@ -1,0 +1,34 @@
+"""Private L2 cache model.
+
+The zEC12 L2 is a private 1MB, 8-way, store-through cache (512 congruence
+classes) with a 7-cycle use-latency penalty over the L1. Like the L1 it
+never holds dirty data. Its transactional significance is as the *backstop*
+for the footprint:
+
+* transactionally dirty lines evicted from the L1 "have to stay resident in
+  the L2 throughout the transaction" — an L2 eviction of a write-set line
+  aborts;
+* with the LRU-extension scheme the read footprint is bounded by the L2
+  size and associativity — an L2 eviction of a read-set line aborts.
+
+The precise read/write sets are kept by the transaction engine, so this
+class is a thin, named wrapper over the generic directory.
+"""
+
+from __future__ import annotations
+
+from ..params import CacheGeometry, L2_GEOMETRY
+from .directory import SetAssociativeDirectory
+
+
+class L2Cache:
+    """Private L2 directory."""
+
+    def __init__(self, geometry: CacheGeometry = L2_GEOMETRY) -> None:
+        self.directory = SetAssociativeDirectory(geometry, name="L2")
+
+    def lookup(self, line: int):
+        return self.directory.lookup(line)
+
+    def contains(self, line: int) -> bool:
+        return self.directory.contains(line)

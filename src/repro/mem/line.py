@@ -1,0 +1,75 @@
+"""Cache-line ownership states and directory entries.
+
+The zEC12 manages coherency with "a variant of the MESI protocol" where
+cache lines are owned *read-only* (shared) or *exclusive*; the L1/L2 are
+store-through and therefore never hold dirty data (section III.A). We model
+exactly those two valid states plus invalid.
+
+For the transactional-memory implementation the L1 directory's valid bits
+were moved into logic latches and supplemented with two bits per line:
+``tx_read`` and ``tx_dirty`` (section III.C). Those live on
+:class:`DirectoryEntry` and are only meaningful in the L1.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Ownership(enum.Enum):
+    """Coherency state of a line within one CPU's private cache."""
+
+    INVALID = "invalid"
+    READ_ONLY = "read-only"
+    EXCLUSIVE = "exclusive"
+
+    def grants_store(self) -> bool:
+        """Stores require exclusive ownership."""
+        return self is Ownership.EXCLUSIVE
+
+    def grants_load(self) -> bool:
+        """Loads require any valid ownership."""
+        return self is not Ownership.INVALID
+
+
+@dataclass
+class DirectoryEntry:
+    """One way of one congruence class in a cache directory.
+
+    ``lru`` is a monotonically increasing use stamp maintained by the
+    directory; the way with the smallest stamp in a row is the LRU victim.
+    """
+
+    line: int
+    state: Ownership = Ownership.READ_ONLY
+    tx_read: bool = False
+    tx_dirty: bool = False
+    lru: int = 0
+
+    def clear_tx(self) -> None:
+        """Drop transactional marks (outermost TBEGIN decode / TEND)."""
+        self.tx_read = False
+        self.tx_dirty = False
+
+
+@dataclass
+class LineInfo:
+    """Fabric-level bookkeeping for one line address (who owns it where)."""
+
+    ro_owners: set = field(default_factory=set)
+    ex_owner: int = -1  # CPU id, or -1 when nobody owns it exclusively
+    #: Simulated time until which the line is in flight on the
+    #: interconnect; a line cannot change hands faster than one transfer
+    #: per transfer latency.
+    busy_until: int = 0
+
+    def owners(self) -> set:
+        """All CPUs holding the line in any valid state."""
+        result = set(self.ro_owners)
+        if self.ex_owner >= 0:
+            result.add(self.ex_owner)
+        return result
+
+    def is_unowned(self) -> bool:
+        return self.ex_owner < 0 and not self.ro_owners

@@ -1,0 +1,62 @@
+"""Backing main memory.
+
+A sparse, byte-addressable store holding the *architected* (committed)
+memory image. Pending transactional (and gathered non-transactional) stores
+live in the per-CPU store queue and gathering store cache until they drain
+here — see :mod:`repro.mem.storequeue` and :mod:`repro.mem.storecache`.
+
+Values are stored as unsigned integers per naturally-addressed byte; typed
+accessors read/write big-endian two's-complement integers of 1..16 bytes,
+matching z/Architecture's big-endian layout.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from ..errors import ConfigurationError
+
+
+class MainMemory:
+    """Sparse byte-addressable memory. Unwritten bytes read as zero."""
+
+    def __init__(self) -> None:
+        self._bytes: Dict[int, int] = {}
+
+    def read_byte(self, addr: int) -> int:
+        return self._bytes.get(addr, 0)
+
+    def write_byte(self, addr: int, value: int) -> None:
+        self._bytes[addr] = value & 0xFF
+
+    def read(self, addr: int, length: int) -> bytes:
+        """Read ``length`` raw bytes starting at ``addr``."""
+        if length < 0:
+            raise ConfigurationError("length must be non-negative")
+        get = self._bytes.get
+        return bytes(get(a, 0) for a in range(addr, addr + length))
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Write raw bytes starting at ``addr``."""
+        store = self._bytes
+        for i, b in enumerate(data):
+            store[addr + i] = b
+
+    def read_int(self, addr: int, length: int, signed: bool = False) -> int:
+        """Read a big-endian integer of ``length`` bytes."""
+        return int.from_bytes(self.read(addr, length), "big", signed=signed)
+
+    def write_int(self, addr: int, value: int, length: int) -> None:
+        """Write a big-endian integer of ``length`` bytes (two's complement)."""
+        mask = (1 << (8 * length)) - 1
+        self.write(addr, (value & mask).to_bytes(length, "big"))
+
+    def apply_writes(self, writes: Iterable[Tuple[int, int]]) -> None:
+        """Apply ``(byte_address, value)`` pairs (store-cache drain path)."""
+        store = self._bytes
+        for addr, value in writes:
+            store[addr] = value & 0xFF
+
+    def footprint(self) -> int:
+        """Number of distinct bytes ever written (for tests/diagnostics)."""
+        return len(self._bytes)

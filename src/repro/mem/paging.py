@@ -1,0 +1,49 @@
+"""Minimal paging model for interruption-filtering semantics.
+
+We do not model address translation (DAT) — addresses are physical — but
+the interruption-filtering architecture (section II.C) needs *page faults*
+as its canonical group-3 exception: a filtered page fault never reaches
+the OS, so a program whose abort handler does not touch the same page
+non-transactionally loops forever. Tests and examples inject missing pages
+here to exercise exactly that behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from .address import PAGE_SIZE, page_address
+
+
+class PageTable:
+    """Tracks which pages are present; everything is present by default."""
+
+    def __init__(self) -> None:
+        self._missing: Set[int] = set()
+        #: Pages the OS paged in (resolved faults), for assertions in tests.
+        self.paged_in: Set[int] = set()
+
+    def unmap(self, addr: int, length: int = PAGE_SIZE) -> None:
+        """Mark the pages covering ``[addr, addr+length)`` not present."""
+        first = page_address(addr)
+        last = page_address(addr + max(length, 1) - 1)
+        for page in range(first, last + PAGE_SIZE, PAGE_SIZE):
+            self._missing.add(page)
+
+    def map(self, addr: int) -> None:
+        """Page-in the page containing ``addr`` (the OS resolving a fault)."""
+        page = page_address(addr)
+        self._missing.discard(page)
+        self.paged_in.add(page)
+
+    def present(self, addr: int) -> bool:
+        return page_address(addr) not in self._missing
+
+    def first_missing(self, addr: int, length: int) -> int:
+        """First non-present byte address of an access, or -1 if none."""
+        first = page_address(addr)
+        last = page_address(addr + max(length, 1) - 1)
+        for page in range(first, last + PAGE_SIZE, PAGE_SIZE):
+            if page in self._missing:
+                return max(page, addr)
+        return -1

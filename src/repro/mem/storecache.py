@@ -1,0 +1,296 @@
+"""Gathering store cache — the transactional write buffer (section III.D).
+
+The store cache solves two problems at once: it gathers stores to
+neighbouring addresses to relieve L3 store bandwidth, and it buffers
+transactional stores until the transaction ends so that neither the L2 nor
+the shared L3 ever sees uncommitted data.
+
+Modelled faithfully from the paper:
+
+* a circular queue of **64 entries x 128 bytes** with byte-precise valid
+  bits;
+* non-transactional stores gather into an existing entry for the same
+  128-byte block, or allocate a new entry; when free entries fall below a
+  threshold the oldest entries are written back to L2/L3;
+* at a new outermost TBEGIN all existing entries are **closed** (no further
+  gathering) and their eviction begins; transactional stores allocate new
+  entries or gather into existing *transactional* entries, and their
+  writeback is blocked until the transaction ends;
+* the cache is queried on every exclusive or demote XI and **rejects** the
+  XI if it compares to any active entry;
+* overflow — a new store that cannot merge while all 64 entries are held by
+  the current transaction — aborts the transaction;
+* a per-doubleword **NTSTG mark** keeps non-transactional-store data valid
+  across transaction aborts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import ProtocolError
+from .address import DOUBLEWORD, doubleword_address, line_address
+
+
+BLOCK_SIZE = 128
+
+
+def block_address(addr: int) -> int:
+    """Align ``addr`` down to a store-cache block (128 bytes)."""
+    return addr & ~(BLOCK_SIZE - 1)
+
+
+@dataclass
+class StoreCacheEntry:
+    """One 128-byte gathering entry with byte-precise valid bits."""
+
+    block: int
+    bytes_: Dict[int, int] = field(default_factory=dict)  # offset -> value
+    tx: bool = False
+    closed: bool = False
+    ntstg_doublewords: Set[int] = field(default_factory=set)  # block offsets
+
+    def gather(self, addr: int, data: bytes, ntstg: bool = False) -> None:
+        offset = addr - self.block
+        if offset < 0 or offset + len(data) > BLOCK_SIZE:
+            raise ProtocolError("store does not fit the store-cache block")
+        for i, value in enumerate(data):
+            self.bytes_[offset + i] = value
+        if ntstg:
+            first = doubleword_address(addr) - self.block
+            last = doubleword_address(addr + len(data) - 1) - self.block
+            for dw in range(first, last + DOUBLEWORD, DOUBLEWORD):
+                self.ntstg_doublewords.add(dw)
+
+    def byte_at(self, byte_addr: int) -> Optional[int]:
+        return self.bytes_.get(byte_addr - self.block)
+
+    def line(self) -> int:
+        """The 256-byte cache line containing this block."""
+        return line_address(self.block)
+
+    def writes(self) -> List[Tuple[int, int]]:
+        """(byte address, value) pairs for draining to memory."""
+        return [(self.block + off, val) for off, val in sorted(self.bytes_.items())]
+
+    def strip_to_ntstg(self) -> bool:
+        """On abort, keep only NTSTG-marked doublewords.
+
+        Returns True if any bytes survive.
+        """
+        surviving = {
+            off: val
+            for off, val in self.bytes_.items()
+            if (off & ~(DOUBLEWORD - 1)) in self.ntstg_doublewords
+        }
+        self.bytes_ = surviving
+        self.tx = False
+        self.closed = True
+        return bool(surviving)
+
+
+class StoreCacheOverflow(Exception):
+    """Internal signal: a transactional store could not be buffered."""
+
+
+class GatheringStoreCache:
+    """The 64-entry gathering store cache of one CPU."""
+
+    def __init__(
+        self,
+        entries: int = 64,
+        drain_threshold: int = 8,
+    ) -> None:
+        if entries < 1:
+            raise ProtocolError("store cache needs at least one entry")
+        self.capacity = entries
+        self.drain_threshold = drain_threshold
+        self._queue: List[StoreCacheEntry] = []  # oldest first
+        #: Writes drained since the last ``take_drained`` call, in order.
+        self._drained: List[Tuple[int, int]] = []
+        #: Statistics.
+        self.stats_gathered = 0
+        self.stats_allocated = 0
+        self.stats_drained_entries = 0
+
+    # -- basic state --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def free_entries(self) -> int:
+        return self.capacity - len(self._queue)
+
+    def tx_entry_count(self) -> int:
+        return sum(1 for e in self._queue if e.tx)
+
+    def tx_lines(self) -> Set[int]:
+        """Line addresses held transactionally (the precise write set)."""
+        return {e.line() for e in self._queue if e.tx}
+
+    def active_lines(self) -> Set[int]:
+        """Line addresses of all active entries (XI-compare set)."""
+        return {e.line() for e in self._queue}
+
+    # -- store path ----------------------------------------------------------
+
+    def store(self, addr: int, data: bytes, tx: bool, ntstg: bool = False) -> int:
+        """Buffer a (possibly multi-block) store; returns entries drained.
+
+        Raises :class:`StoreCacheOverflow` when a transactional store finds
+        the cache full of current-transaction entries ("the LSU requests a
+        transaction abort when the store cache overflows").
+        """
+        drained = 0
+        pos = 0
+        while pos < len(data):
+            block = block_address(addr + pos)
+            take = min(len(data) - pos, block + BLOCK_SIZE - (addr + pos))
+            drained += self._store_block(addr + pos, data[pos : pos + take], tx, ntstg)
+            pos += take
+        return drained
+
+    def _store_block(self, addr: int, data: bytes, tx: bool, ntstg: bool) -> int:
+        block = block_address(addr)
+        entry = self._gather_target(block, tx)
+        drained = 0
+        if entry is None:
+            if self.free_entries == 0:
+                drained += self._make_room(tx)
+            entry = StoreCacheEntry(block=block, tx=tx)
+            self._queue.append(entry)
+            self.stats_allocated += 1
+        else:
+            self.stats_gathered += 1
+        entry.gather(addr, data, ntstg=ntstg)
+        if not tx and self.free_entries < self.drain_threshold:
+            drained += self._drain_oldest_nontx()
+        return drained
+
+    def _gather_target(self, block: int, tx: bool) -> Optional[StoreCacheEntry]:
+        """Youngest entry the store may gather into, if any.
+
+        Transactional stores gather only into open transactional entries;
+        non-transactional stores only into open non-transactional ones.
+        """
+        for entry in reversed(self._queue):
+            if entry.block == block and not entry.closed and entry.tx == tx:
+                return entry
+        return None
+
+    def _make_room(self, tx: bool) -> int:
+        """Free one entry for a new allocation."""
+        drained = self._drain_oldest_nontx()
+        if drained:
+            return drained
+        if tx:
+            # Entire cache filled with stores from the current transaction.
+            raise StoreCacheOverflow()
+        raise ProtocolError("store cache full of tx entries on non-tx store")
+
+    def _drain_oldest_nontx(self) -> int:
+        """Write back the oldest non-transactional entry, if one exists."""
+        for i, entry in enumerate(self._queue):
+            if not entry.tx:
+                self._drained.extend(entry.writes())
+                del self._queue[i]
+                self.stats_drained_entries += 1
+                return 1
+        return 0
+
+    # -- load path -------------------------------------------------------------
+
+    def forward_byte(self, byte_addr: int) -> Optional[int]:
+        """Youngest buffered value for ``byte_addr``, or None."""
+        block = block_address(byte_addr)
+        for entry in reversed(self._queue):
+            if entry.block == block:
+                value = entry.byte_at(byte_addr)
+                if value is not None:
+                    return value
+        return None
+
+    # -- transactional lifecycle --------------------------------------------
+
+    def begin_transaction(self) -> int:
+        """Outermost TBEGIN: close all entries and start their eviction.
+
+        We drain the closed non-transactional entries immediately (the
+        hardware overlaps this with execution; the caller charges the drain
+        latency). Returns the number of entries drained.
+        """
+        drained = 0
+        for entry in self._queue:
+            entry.closed = True
+        while any(not e.tx for e in self._queue):
+            drained += self._drain_oldest_nontx()
+        return drained
+
+    def end_transaction(self) -> None:
+        """TEND: transactional entries become normal, drainable entries."""
+        for entry in self._queue:
+            if entry.tx:
+                entry.tx = False
+                entry.closed = True
+
+    def abort_transaction(self) -> Set[int]:
+        """Abort: invalidate transactional entries (NTSTG bytes survive).
+
+        Returns the set of line addresses whose buffered data was dropped.
+        """
+        dropped_lines: Set[int] = set()
+        kept: List[StoreCacheEntry] = []
+        for entry in self._queue:
+            if entry.tx:
+                dropped_lines.add(entry.line())
+                if entry.strip_to_ntstg():
+                    kept.append(entry)
+            else:
+                kept.append(entry)
+        self._queue = kept
+        return dropped_lines
+
+    # -- XI interface ------------------------------------------------------------
+
+    def xi_compare(self, line: int) -> str:
+        """Classify an exclusive/demote XI against the cache.
+
+        Returns ``"clear"`` (no overlap), ``"reject"`` (overlaps a
+        transactional entry — stiff-arm), or ``"drain"`` (overlaps only
+        non-transactional entries, which must be written back before the XI
+        can be accepted).
+        """
+        overlapping = [e for e in self._queue if e.line() == line]
+        if not overlapping:
+            return "clear"
+        if any(e.tx for e in overlapping):
+            return "reject"
+        return "drain"
+
+    def drain_line(self, line: int) -> int:
+        """Write back all non-tx entries for ``line``; returns count drained."""
+        drained = 0
+        remaining: List[StoreCacheEntry] = []
+        for entry in self._queue:
+            if entry.line() == line and not entry.tx:
+                self._drained.extend(entry.writes())
+                self.stats_drained_entries += 1
+                drained += 1
+            else:
+                remaining.append(entry)
+        self._queue = remaining
+        return drained
+
+    def drain_all(self) -> int:
+        """Write back everything non-transactional (quiesce/commit path)."""
+        drained = 0
+        while self._drain_oldest_nontx():
+            drained += 1
+        return drained
+
+    def take_drained(self) -> List[Tuple[int, int]]:
+        """Collect (address, byte) writes drained since the last call."""
+        writes, self._drained = self._drained, []
+        return writes

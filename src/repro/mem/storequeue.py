@@ -1,0 +1,91 @@
+"""Store queue (STQ) model.
+
+In the zEC12, stores execute into the store queue and are written back to
+the L1 (and forwarded to the gathering store cache) only after the store
+instruction completes, at most one per cycle. During a transaction a
+*transaction mark* is placed in the STQ entry; before completion and
+writeback, loads access pending data by store-forwarding (section III.C).
+
+In our instruction-atomic simulation a store "completes" at the instruction
+boundary, so the queue mainly provides: (i) store-forwarding order
+semantics, (ii) the tx marks that are cleared at TEND ("effectively turning
+the pending stores into normal stores") or invalidated on abort ("all
+pending transactional stores are invalidated from the STQ, even those
+already completed"), and (iii) the XI-reject condition for queued stores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from .address import line_address
+
+
+@dataclass
+class StoreQueueEntry:
+    """One pending store: ``length`` bytes of ``data`` at ``addr``."""
+
+    addr: int
+    data: bytes
+    tx: bool = False
+    ntstg: bool = False
+
+    @property
+    def length(self) -> int:
+        return len(self.data)
+
+    def covers(self, byte_addr: int) -> bool:
+        return self.addr <= byte_addr < self.addr + self.length
+
+    def byte_at(self, byte_addr: int) -> int:
+        return self.data[byte_addr - self.addr]
+
+
+class StoreQueue:
+    """FIFO of pending stores with store-forwarding support."""
+
+    def __init__(self) -> None:
+        self._entries: List[StoreQueueEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def push(self, addr: int, data: bytes, tx: bool = False, ntstg: bool = False) -> None:
+        self._entries.append(StoreQueueEntry(addr, bytes(data), tx=tx, ntstg=ntstg))
+
+    def forward_byte(self, byte_addr: int) -> Optional[int]:
+        """Youngest pending value for ``byte_addr``, or None."""
+        for entry in reversed(self._entries):
+            if entry.covers(byte_addr):
+                return entry.byte_at(byte_addr)
+        return None
+
+    def drain(self) -> List[StoreQueueEntry]:
+        """Pop every entry in program order (writeback to L1/store cache)."""
+        drained, self._entries = self._entries, []
+        return drained
+
+    def clear_tx_marks(self) -> None:
+        """TEND: pending transactional stores become normal stores."""
+        for entry in self._entries:
+            entry.tx = False
+
+    def invalidate_tx(self) -> List[StoreQueueEntry]:
+        """Abort: drop transactional stores; NTSTG entries survive."""
+        kept = [e for e in self._entries if not e.tx or e.ntstg]
+        dropped = [e for e in self._entries if e.tx and not e.ntstg]
+        self._entries = kept
+        return dropped
+
+    def lines_pending(self) -> set:
+        """Line addresses with queued stores (XI-reject condition)."""
+        lines = set()
+        for entry in self._entries:
+            first = line_address(entry.addr)
+            last = line_address(entry.addr + entry.length - 1)
+            lines.update(range(first, last + 256, 256))
+        return lines
+
+    def __iter__(self) -> Iterator[StoreQueueEntry]:
+        return iter(self._entries)

@@ -1,0 +1,52 @@
+"""Cross-interrogate (XI) protocol messages.
+
+Coherency requests in the z hierarchy are called cross interrogates and are
+sent hierarchically from higher-level to lower-level caches (section III.A):
+
+* **Exclusive XIs** transition ownership from exclusive to invalid.
+* **Demote XIs** transition ownership from exclusive to read-only.
+* Both need a response and may be **rejected** if the target first needs to
+  evict dirty data — or, for transactional memory, as the "stiff-arm"
+  mechanism that gives the target a chance to finish its transaction
+  (section III.C). A rejected XI is repeated by the sender.
+* **Read-only XIs** are sent to caches owning the line read-only; they
+  cannot be rejected and need no response.
+* **LRU XIs** result from evictions at inclusive higher-level caches.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class XiType(enum.Enum):
+    EXCLUSIVE = "exclusive"
+    DEMOTE = "demote"
+    READ_ONLY = "read-only"
+    LRU = "lru"
+
+    @property
+    def rejectable(self) -> bool:
+        """Only demote and exclusive XIs may be rejected (stiff-armed)."""
+        return self in (XiType.EXCLUSIVE, XiType.DEMOTE)
+
+    @property
+    def invalidates(self) -> bool:
+        """Whether accepting this XI removes the line from the target."""
+        return self is not XiType.DEMOTE
+
+
+class XiResponse(enum.Enum):
+    ACCEPT = "accept"
+    REJECT = "reject"
+
+
+@dataclass(frozen=True)
+class Xi:
+    """One cross-interrogate sent to one target CPU."""
+
+    xi_type: XiType
+    line: int
+    requester: int  # CPU id of the requesting core, or -1 for LRU XIs
+    target: int     # CPU id receiving the XI

@@ -1,0 +1,9 @@
+"""Discrete-event machine, scheduler and results."""
+
+from .machine import Machine, MarkRecorder
+from .results import CpuResult, SimResult
+from .scheduler import Scheduler
+from .trace import TraceEvent, Tracer
+
+__all__ = ["Machine", "MarkRecorder", "CpuResult", "SimResult", "Scheduler",
+           "TraceEvent", "Tracer"]

@@ -1,0 +1,157 @@
+"""The top-level simulated machine.
+
+Builds the full system — main memory, page table, coherence fabric with
+L3/L4 caches, one transaction engine per CPU — and runs programs (ISA) or
+HTM threads (coroutines) on it.
+
+Typical use::
+
+    from repro import Machine, ZEC12
+    machine = Machine(ZEC12.with_cpus(4))
+    machine.add_program(program)          # an assembled ISA program
+    machine.add_program(program)
+    result = machine.run()
+    print(result.throughput)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..core.engine import TxEngine
+from ..cpu.assembler import Program
+from ..cpu.interpreter import IsaCpu
+from ..cpu.interrupts import OsModel
+from ..errors import ConfigurationError
+from ..mem.fabric import CoherenceFabric
+from ..mem.memory import MainMemory
+from ..mem.paging import PageTable
+from ..params import MachineParams, ZEC12
+from .results import CpuResult, SimResult
+from .scheduler import Scheduler
+
+
+class MarkRecorder:
+    """Collects MARK_START/MARK_END interval measurements for one CPU."""
+
+    def __init__(self, clock: Callable[[], int]) -> None:
+        self._clock = clock
+        self._start: Optional[int] = None
+        self.intervals: List[int] = []
+
+    def __call__(self, kind: str) -> None:
+        now = self._clock()
+        if kind == "start":
+            self._start = now
+        elif kind == "end" and self._start is not None:
+            self.intervals.append(now - self._start)
+            self._start = None
+
+
+class Machine:
+    """A complete simulated zEC12-like SMP machine."""
+
+    def __init__(
+        self,
+        params: MachineParams = ZEC12,
+        external_interrupt_interval: Optional[int] = None,
+    ) -> None:
+        self.params = params
+        self.memory = MainMemory()
+        self.page_table = PageTable()
+        self.fabric = CoherenceFabric(params)
+        self.os = OsModel(self.page_table)
+        self.engines: List[TxEngine] = []
+        self.drivers: List = []
+        self._recorders: List[MarkRecorder] = []
+        self.scheduler: Optional[Scheduler] = None
+        self.external_interrupt_interval = external_interrupt_interval
+        self._next_interrupt: List[int] = []
+
+    # ------------------------------------------------------------------
+
+    def _new_engine(self) -> TxEngine:
+        cpu_id = len(self.engines)
+        if cpu_id >= self.params.topology.total_cores:
+            raise ConfigurationError(
+                f"topology supports only {self.params.topology.total_cores} "
+                "CPUs; use params.with_cpus(n)"
+            )
+        engine = TxEngine(cpu_id, self.params, self.fabric, self.memory,
+                          self.page_table)
+        self.engines.append(engine)
+        return engine
+
+    def _now(self) -> int:
+        return self.scheduler.now if self.scheduler is not None else 0
+
+    def add_program(self, program: Program) -> IsaCpu:
+        """Attach a new CPU running an assembled ISA program."""
+        engine = self._new_engine()
+        recorder = MarkRecorder(self._now)
+        cpu = IsaCpu(engine, program, self.os, mark_sink=recorder)
+        self.drivers.append(cpu)
+        self._recorders.append(recorder)
+        self._next_interrupt.append(0)
+        return cpu
+
+    def add_driver(self, factory: Callable[[TxEngine, MarkRecorder], object]):
+        """Attach a custom driver (used by the HTM coroutine API).
+
+        ``factory(engine, recorder)`` must return an object with
+        ``step() -> int``, ``done`` and ``engine`` attributes.
+        """
+        engine = self._new_engine()
+        recorder = MarkRecorder(self._now)
+        driver = factory(engine, recorder)
+        self.drivers.append(driver)
+        self._recorders.append(recorder)
+        self._next_interrupt.append(0)
+        return driver
+
+    # ------------------------------------------------------------------
+
+    def _inject_interrupts(self, index: int, now: int) -> None:
+        interval = self.external_interrupt_interval
+        if not interval:
+            return
+        if self._next_interrupt[index] == 0:
+            # De-phase the CPUs so timer pops are not synchronised.
+            self._next_interrupt[index] = interval * (index + 1) // len(
+                self.drivers
+            ) + interval
+        if now >= self._next_interrupt[index]:
+            self._next_interrupt[index] = now + interval
+            self.engines[index].external_interruption()
+
+    def run(self, max_cycles: Optional[int] = None) -> SimResult:
+        """Run all drivers to completion; returns the collected results."""
+        if not self.drivers:
+            raise ConfigurationError("no CPUs attached to the machine")
+        self.scheduler = Scheduler(self.drivers)
+        self.scheduler.pre_step = self._inject_interrupts
+        self.fabric.clock = lambda: self.scheduler.now
+        cycles = self.scheduler.run(max_cycles=max_cycles)
+        for engine in self.engines:
+            engine.quiesce()
+        aborted_early = max_cycles is not None and any(
+            not d.done for d in self.drivers
+        )
+        return SimResult(
+            cycles=cycles,
+            cpus=[self._cpu_result(i) for i in range(len(self.drivers))],
+            aborted_early=aborted_early,
+        )
+
+    def _cpu_result(self, index: int) -> CpuResult:
+        engine = self.engines[index]
+        driver = self.drivers[index]
+        return CpuResult(
+            cpu_id=index,
+            instructions=getattr(driver, "stats_instructions", 0),
+            tx_started=engine.stats_tx_started,
+            tx_committed=engine.stats_tx_committed,
+            tx_aborted=engine.stats_tx_aborted,
+            xi_rejects=engine.stats_xi_rejected,
+            intervals=list(self._recorders[index].intervals),
+        )

@@ -1,0 +1,127 @@
+"""Discrete-event scheduler interleaving the simulated CPUs.
+
+Each CPU driver exposes ``step() -> latency`` (one instruction / one
+operation) and a ``done`` flag. The scheduler keeps a priority queue of
+(local-time, cpu) events and always resumes the CPU with the smallest
+local clock, so cross-CPU interactions (XIs, stiff-arming, conflicts)
+happen in global-time order.
+
+Two special behaviours:
+
+* a :class:`~repro.core.engine.FetchRetry` from a driver means the CPU's
+  line fetch was stiff-armed — the CPU is rescheduled after the back-off
+  delay and re-executes the same instruction;
+* the **broadcast-stop** (solo) mode of constrained-transaction millicode:
+  while a CPU holds the solo token, all other CPUs' events are deferred
+  ("millicode can broadcast to other CPUs to stop all conflicting work,
+  retry the local transaction, before releasing the other CPUs").
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+from ..core.engine import FetchRetry
+
+
+class Scheduler:
+    """Runs a set of drivers to completion in simulated time."""
+
+    def __init__(self, drivers: List) -> None:
+        self.drivers = drivers
+        self.now = 0
+        #: Optional hook called as ``pre_step(index, now)`` before each
+        #: step — used by the machine for asynchronous-interruption
+        #: injection.
+        self.pre_step = None
+        self._seq = 0
+        self._horizon = 0
+        #: CPUs with an outstanding broadcast-stop request, maintained
+        #: incrementally: engines request solo only during their own
+        #: step, so observing after each step is complete.
+        self._solo_waiters: set = set()
+        #: Solo index the broadcast-stop flags were last applied for
+        #: ("idle" = never applied / cleared).
+        self._stop_applied_for = "idle"
+        self._heap: List[Tuple[int, int, int]] = []
+        self._deferred: List[Tuple[int, int]] = []
+        for index in range(len(drivers)):
+            self._push(0, index)
+
+    def _push(self, time: int, index: int) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, index))
+
+    def _solo_index(self) -> Optional[int]:
+        """The CPU holding the broadcast-stop token, if any.
+
+        When several constrained transactions escalate at once, millicode
+        serialises them — we grant the token to the lowest CPU id.
+        """
+        while self._solo_waiters:
+            index = min(self._solo_waiters)
+            driver = self.drivers[index]
+            if driver.engine.solo_requested and not driver.done:
+                return index
+            self._solo_waiters.discard(index)
+        return None
+
+    def run(self, max_cycles: Optional[int] = None) -> int:
+        """Run until every driver is done (or the cycle budget is hit).
+
+        Returns the final simulated time.
+        """
+        while self._heap or self._deferred:
+            if not self._heap:
+                self._flush_deferred()
+                continue
+            time, _, index = heapq.heappop(self._heap)
+            driver = self.drivers[index]
+            if driver.done:
+                continue
+            if max_cycles is not None and time > max_cycles:
+                self.now = max_cycles
+                return self.now
+            solo = self._solo_index()
+            if solo != self._stop_applied_for:
+                self._apply_broadcast_stop(solo)
+                self._stop_applied_for = solo
+            if solo is not None and index != solo:
+                self._deferred.append((time, index))
+                continue
+            self.now = max(self.now, time)
+            if self.pre_step is not None:
+                self.pre_step(index, self.now)
+            try:
+                latency = driver.step()
+            except FetchRetry as retry:
+                latency = retry.delay
+            end = time + max(latency, 0)
+            if end > self._horizon:
+                self._horizon = end
+            if not driver.done:
+                self._push(end, index)
+            if driver.engine.solo_requested and not driver.done:
+                self._solo_waiters.add(index)
+            if self._deferred and self._solo_index() is None:
+                self._flush_deferred()
+        self.now = max(self.now, self._horizon)
+        return self.now
+
+    def _apply_broadcast_stop(self, solo) -> None:
+        """Mark all non-solo CPUs as stopped while a solo is in effect.
+
+        A stopped CPU cannot complete instructions, so it must not
+        stiff-arm the solo CPU's fetches — its conflicting transactions
+        abort immediately instead.
+        """
+        for index, driver in enumerate(self.drivers):
+            driver.engine.stopped_by_broadcast = (
+                solo is not None and index != solo
+            )
+
+    def _flush_deferred(self) -> None:
+        deferred, self._deferred = self._deferred, []
+        for time, index in deferred:
+            self._push(max(time, self.now), index)

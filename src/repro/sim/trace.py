@@ -1,0 +1,151 @@
+"""Event tracing for simulator observability.
+
+A :class:`Tracer` attached to a machine records transactional and
+coherence events with simulated timestamps — useful for debugging
+workloads ("why did this transaction abort?") and for the kind of
+hardware/firmware bring-up analysis the paper's section II.E describes.
+
+Tracing hooks into the engines non-invasively (method wrapping), so the
+hot paths carry no cost when tracing is off.
+
+Example::
+
+    machine = Machine(ZEC12)
+    ...
+    tracer = Tracer(machine, kinds={"abort", "commit"})
+    machine.run()
+    for event in tracer.events:
+        print(event)
+    print(tracer.summary())
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Set
+
+from ..core.abort import TransactionAbort
+
+ALL_KINDS = frozenset({"tbegin", "commit", "abort", "xi", "fetch"})
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event."""
+
+    time: int
+    cpu: int
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.time:>10}] cpu{self.cpu:<3} {self.kind:<7} {self.detail}"
+
+
+class Tracer:
+    """Records engine events from a machine run."""
+
+    def __init__(self, machine, kinds: Optional[Set[str]] = None,
+                 limit: int = 100_000) -> None:
+        self.machine = machine
+        self.kinds = set(kinds) if kinds is not None else set(ALL_KINDS)
+        unknown = self.kinds - ALL_KINDS
+        if unknown:
+            raise ValueError(f"unknown trace kinds: {sorted(unknown)}")
+        self.limit = limit
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+        for engine in machine.engines:
+            self._instrument(engine)
+
+    # -- recording -----------------------------------------------------------
+
+    def _now(self) -> int:
+        scheduler = self.machine.scheduler
+        return scheduler.now if scheduler is not None else 0
+
+    def _record(self, cpu: int, kind: str, detail: str) -> None:
+        if kind not in self.kinds:
+            return
+        if len(self.events) >= self.limit:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(self._now(), cpu, kind, detail))
+
+    def _instrument(self, engine) -> None:
+        cpu = engine.cpu_id
+        record = self._record
+
+        original_begin = engine.tx_begin
+
+        def traced_begin(controls=None, constrained=False, ia=0):
+            latency = original_begin(controls, constrained=constrained, ia=ia)
+            if engine.tx.depth == 1:
+                record(cpu, "tbegin",
+                       f"{'TBEGINC' if constrained else 'TBEGIN'} at 0x{ia:x}")
+            return latency
+
+        engine.tx_begin = traced_begin
+
+        original_end = engine.tx_end
+
+        def traced_end(ia=0):
+            latency, depth = original_end(ia)
+            if depth == 0 and engine.stats_tx_committed:
+                record(cpu, "commit", f"TEND at 0x{ia:x}")
+            return (latency, depth)
+
+        engine.tx_end = traced_end
+
+        original_abort_now = engine._abort_now
+
+        def traced_abort_now(code, **kwargs):
+            was_pending = engine.pending_abort is not None
+            original_abort_now(code, **kwargs)
+            if not was_pending and engine.pending_abort is not None:
+                record(cpu, "abort", engine.pending_abort.describe())
+
+        engine._abort_now = traced_abort_now
+
+        original_receive = engine.receive_xi
+
+        def traced_receive(xi):
+            response, extra = original_receive(xi)
+            record(cpu, "xi",
+                   f"{xi.xi_type.value} XI line 0x{xi.line:x} from "
+                   f"cpu{xi.requester}: {response.value}")
+            return (response, extra)
+
+        engine.receive_xi = traced_receive
+
+        original_fetch = engine._fetch
+
+        def traced_fetch(line, exclusive):
+            latency, source = original_fetch(line, exclusive)
+            if source != "l1":
+                record(cpu, "fetch",
+                       f"line 0x{line:x} {'EX' if exclusive else 'RO'} "
+                       f"from {source}")
+            return (latency, source)
+
+        engine._fetch = traced_fetch
+
+    # -- analysis ---------------------------------------------------------------
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def aborts_by_code(self) -> Counter:
+        """Histogram of abort reasons (parsed from the detail strings)."""
+        counter: Counter = Counter()
+        for event in self.of_kind("abort"):
+            counter[event.detail.split()[1]] += 1
+        return counter
+
+    def summary(self) -> str:
+        counts = Counter(e.kind for e in self.events)
+        parts = [f"{kind}={counts.get(kind, 0)}" for kind in sorted(self.kinds)]
+        if self.dropped:
+            parts.append(f"dropped={self.dropped}")
+        return " ".join(parts)

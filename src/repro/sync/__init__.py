@@ -1,0 +1,28 @@
+"""Lock baselines and transaction retry harnesses (ISA fragments)."""
+
+from .retry import (
+    LOCK_BUSY_ABORT_CODE,
+    constrained_transaction,
+    transaction_with_fallback,
+)
+from .rwlock import (
+    WRITER_BIT,
+    reader_enter,
+    reader_exit,
+    writer_acquire,
+    writer_release,
+)
+from .spinlock import acquire_lock, release_lock
+
+__all__ = [
+    "LOCK_BUSY_ABORT_CODE",
+    "constrained_transaction",
+    "transaction_with_fallback",
+    "WRITER_BIT",
+    "reader_enter",
+    "reader_exit",
+    "writer_acquire",
+    "writer_release",
+    "acquire_lock",
+    "release_lock",
+]

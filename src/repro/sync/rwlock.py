@@ -1,0 +1,73 @@
+"""Read/write lock fragments (the Figure 5(d) baseline).
+
+"Typical implementations of read-write locks require updating of the
+lock-word every time a reader enters or leaves its critical section, in
+order to keep track of how many readers are in-flight. The update of the
+read-count causes the lock-word to be transferred between CPUs, which
+limits the throughput significantly."
+
+The lock word is a single 8-byte count: the low half holds the in-flight
+reader count; ``WRITER_BIT`` marks an active writer. Readers spin while a
+writer is active and CAS-increment the count; writers CAS the word from 0
+to ``WRITER_BIT``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..cpu.isa import AHI, CIJNL, CSG, JNZ, LG, LHI, LR, LTG, Mem, SLL, STG
+
+#: Writer-active flag, far above any realistic reader count.
+WRITER_BIT = 1 << 32
+
+
+def reader_enter(lock: Mem, prefix: str, r_old: int = 1, r_new: int = 2) -> List:
+    """CAS-increment the reader count (spinning while a writer is active)."""
+    spin = f"{prefix}.renter"
+    return [
+        (spin, LG(r_old, lock)),
+        CIJNL(r_old, WRITER_BIT, spin),   # writer active: spin
+        LR(r_new, r_old),
+        AHI(r_new, 1),
+        CSG(r_old, r_new, lock),
+        JNZ(spin),
+    ]
+
+
+def reader_exit(lock: Mem, prefix: str, r_old: int = 1, r_new: int = 2) -> List:
+    """CAS-decrement the reader count."""
+    spin = f"{prefix}.rexit"
+    return [
+        (spin, LG(r_old, lock)),
+        LR(r_new, r_old),
+        AHI(r_new, -1),
+        CSG(r_old, r_new, lock),
+        JNZ(spin),
+    ]
+
+
+def writer_acquire(lock: Mem, prefix: str, r_old: int = 1, r_new: int = 2) -> List:
+    """CAS the whole word from 0 (no readers, no writer) to WRITER_BIT.
+
+    Test-and-test-and-set: spin read-only until the word is zero, so
+    waiting writers do not bounce the line exclusively and starve the
+    current holder's release store.
+    """
+    spin = f"{prefix}.wacq"
+    return [
+        (spin, LTG(r_old, lock)),   # spin while readers or a writer hold it
+        JNZ(spin),
+        LHI(r_old, 0),
+        LHI(r_new, 1),
+        SLL(r_new, 32),
+        CSG(r_old, r_new, lock),
+        JNZ(spin),
+    ]
+
+
+def writer_release(lock: Mem, r_zero: int = 1) -> List:
+    return [
+        LHI(r_zero, 0),
+        STG(r_zero, lock),
+    ]

@@ -1,0 +1,45 @@
+"""Spin-lock fragments (the paper's baseline mutex, section IV).
+
+"We use a simple mutex algorithm, which first tests the lock to be empty
+and spins if necessary, then uses compare-and-swap to set the lock, which
+starts over if not successful; the unlock uses a simple store to unset the
+lock."
+
+The fragments are instruction lists suitable for splicing into a larger
+program; ``prefix`` keeps the internal labels unique per splice site.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..cpu.isa import CSG, J, JZ, JNZ, LHI, LTG, Mem, PAUSE, STG
+
+
+def acquire_lock(lock: Mem, prefix: str, r_old: int = 1, r_new: int = 2) -> List:
+    """Test-and-test-and-set acquire of ``lock`` (0 = free, 1 = held).
+
+    The busy path paces its retests with PAUSE so waiters spin on their
+    local read-only copy instead of hammering the interconnect; the
+    uncontended path length is unchanged.
+    """
+    spin = f"{prefix}.spin"
+    attempt = f"{prefix}.attempt"
+    return [
+        (spin, LTG(r_old, lock)),   # test: free?
+        JZ(attempt),
+        PAUSE(),                    # held: pace the retest
+        J(spin),
+        (attempt, LHI(r_old, 0)),
+        LHI(r_new, 1),
+        CSG(r_old, r_new, lock),    # attempt to set it
+        JNZ(spin),                  # lost the race: start over
+    ]
+
+
+def release_lock(lock: Mem, r_zero: int = 1) -> List:
+    """Unlock with a simple store of zero."""
+    return [
+        LHI(r_zero, 0),
+        STG(r_zero, lock),
+    ]

@@ -1,0 +1,26 @@
+"""Workload generators for the paper's evaluation."""
+
+from .hashtable import HashtableExperiment, run_hashtable_experiment
+from .layout import PoolLayout
+from .pool import SCHEMES, build_update_program
+from .queue import QueueExperiment, run_queue_experiment
+from .stamp import (
+    KmeansExperiment,
+    VacationExperiment,
+    run_kmeans,
+    run_vacation,
+)
+
+__all__ = [
+    "HashtableExperiment",
+    "run_hashtable_experiment",
+    "PoolLayout",
+    "SCHEMES",
+    "build_update_program",
+    "QueueExperiment",
+    "run_queue_experiment",
+    "KmeansExperiment",
+    "VacationExperiment",
+    "run_kmeans",
+    "run_vacation",
+]

@@ -1,0 +1,50 @@
+"""Shared memory layout of the micro-benchmark workloads.
+
+"The benchmarks use different pools of shared variables ranging from a
+single variable to 10k variables, each on a separate cache line." Locks
+likewise each sit on their own cache line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cpu.isa import Mem
+from ..mem.address import LINE_SIZE
+
+
+@dataclass(frozen=True)
+class PoolLayout:
+    """Addresses of the shared-variable pool and its locks."""
+
+    pool_size: int
+    #: 10k variables x 256B locks/vars must not overlap: pool at 16MB,
+    #: fine locks at 4MB (2.5MB used for a 10k pool), scalars below 1MB.
+    pool_base: int = 0x0100_0000
+    coarse_lock_addr: int = 0x0008_0000
+    fine_lock_base: int = 0x0040_0000
+    rw_lock_addr: int = 0x000A_0000
+    line_size: int = LINE_SIZE
+
+    def var_addr(self, index: int) -> int:
+        """Address of pool variable ``index`` (one per cache line)."""
+        return self.pool_base + index * self.line_size
+
+    def fine_lock_addr(self, index: int) -> int:
+        """Address of the per-variable lock (one per cache line)."""
+        return self.fine_lock_base + index * self.line_size
+
+    @property
+    def coarse_lock(self) -> Mem:
+        return Mem(disp=self.coarse_lock_addr)
+
+    @property
+    def rw_lock(self) -> Mem:
+        return Mem(disp=self.rw_lock_addr)
+
+    def var(self, offset_register: int) -> Mem:
+        """Pool variable addressed by a line offset held in a register."""
+        return Mem(base=offset_register, disp=self.pool_base)
+
+    def fine_lock(self, offset_register: int) -> Mem:
+        return Mem(base=offset_register, disp=self.fine_lock_base)

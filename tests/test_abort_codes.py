@@ -1,0 +1,55 @@
+"""Unit tests for abort codes and condition-code rules."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.abort import (
+    AbortCode,
+    TABORT_CODE_BASE,
+    TransactionAbort,
+    condition_code_for,
+)
+
+
+@pytest.mark.parametrize("code,expected_cc", [
+    (AbortCode.EXTERNAL_INTERRUPTION, 2),
+    (AbortCode.PROGRAM_INTERRUPTION, 2),
+    (AbortCode.FETCH_CONFLICT, 2),
+    (AbortCode.STORE_CONFLICT, 2),
+    (AbortCode.CACHE_FETCH_RELATED, 2),
+    (AbortCode.MISCELLANEOUS, 2),
+    (AbortCode.FETCH_OVERFLOW, 3),
+    (AbortCode.STORE_OVERFLOW, 3),
+    (AbortCode.RESTRICTED_INSTRUCTION, 3),
+    (AbortCode.PROGRAM_EXCEPTION_FILTERED, 3),
+    (AbortCode.NESTING_DEPTH_EXCEEDED, 3),
+])
+def test_architected_condition_codes(code, expected_cc):
+    assert condition_code_for(code) == expected_cc
+
+
+@given(st.integers(min_value=TABORT_CODE_BASE, max_value=1 << 32))
+def test_tabort_codes_lsb_selects_cc(code):
+    """"The least significant bit of the abort code determines whether
+    the condition code is set to 2 or 3."""
+    assert condition_code_for(code) == (3 if code & 1 else 2)
+
+
+def test_transaction_abort_conflict_token_validity():
+    with_token = TransactionAbort(code=9, conflict_token=0x1000)
+    without = TransactionAbort(code=9)
+    assert with_token.conflict_token_valid
+    assert not without.conflict_token_valid
+
+
+def test_transient_flag():
+    assert TransactionAbort(code=AbortCode.FETCH_CONFLICT).transient
+    assert not TransactionAbort(code=AbortCode.RESTRICTED_INSTRUCTION).transient
+
+
+def test_describe_is_readable():
+    text = TransactionAbort(code=9, conflict_token=0x100).describe()
+    assert "FETCH_CONFLICT" in text
+    assert "cc=2" in text
+    assert "0x100" in text
+    assert "TABORT(300)" in TransactionAbort(code=300).describe()

@@ -1,0 +1,114 @@
+"""Unit tests for address arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.mem.address import (
+    DOUBLEWORD,
+    LINE_SIZE,
+    OCTOWORD,
+    PAGE_SIZE,
+    doubleword_address,
+    is_aligned,
+    line_address,
+    line_offset,
+    lines_touched,
+    octoword_address,
+    octowords_touched,
+    page_address,
+)
+
+
+def test_line_address_alignment():
+    assert line_address(0) == 0
+    assert line_address(255) == 0
+    assert line_address(256) == 256
+    assert line_address(511) == 256
+
+
+def test_line_offset():
+    assert line_offset(0) == 0
+    assert line_offset(257) == 1
+    assert line_offset(511) == 255
+
+
+def test_octoword_address():
+    assert octoword_address(0) == 0
+    assert octoword_address(31) == 0
+    assert octoword_address(32) == 32
+
+
+def test_doubleword_address():
+    assert doubleword_address(7) == 0
+    assert doubleword_address(8) == 8
+
+
+def test_page_address():
+    assert page_address(PAGE_SIZE - 1) == 0
+    assert page_address(PAGE_SIZE) == PAGE_SIZE
+
+
+def test_is_aligned():
+    assert is_aligned(0, 8)
+    assert is_aligned(64, 32)
+    assert not is_aligned(4, 8)
+
+
+def test_lines_touched_single():
+    assert lines_touched(0x100, 8) == (0x100 & ~0xFF,)
+
+
+def test_lines_touched_crossing():
+    lines = lines_touched(250, 16)
+    assert lines == (0, 256)
+
+
+def test_lines_touched_span():
+    lines = lines_touched(0, 1024)
+    assert lines == (0, 256, 512, 768)
+
+
+def test_lines_touched_rejects_zero_length():
+    with pytest.raises(ConfigurationError):
+        lines_touched(0, 0)
+
+
+def test_octowords_touched_single():
+    assert octowords_touched(0, 8) == (0,)
+
+
+def test_octowords_touched_crossing():
+    assert octowords_touched(30, 4) == (0, 32)
+
+
+def test_octowords_touched_rejects_zero_length():
+    with pytest.raises(ConfigurationError):
+        octowords_touched(0, 0)
+
+
+@given(addr=st.integers(min_value=0, max_value=1 << 48),
+       length=st.integers(min_value=1, max_value=4096))
+def test_lines_touched_cover_access(addr, length):
+    """Every byte of the access falls in exactly one reported line."""
+    lines = lines_touched(addr, length)
+    assert lines[0] == line_address(addr)
+    assert lines[-1] == line_address(addr + length - 1)
+    for first, second in zip(lines, lines[1:]):
+        assert second - first == LINE_SIZE
+
+
+@given(addr=st.integers(min_value=0, max_value=1 << 48),
+       length=st.integers(min_value=1, max_value=512))
+def test_octowords_touched_cover_access(addr, length):
+    words = octowords_touched(addr, length)
+    assert words[0] == octoword_address(addr)
+    assert words[-1] == octoword_address(addr + length - 1)
+    assert len(words) == (words[-1] - words[0]) // OCTOWORD + 1
+
+
+@given(addr=st.integers(min_value=0, max_value=1 << 48))
+def test_alignment_functions_idempotent(addr):
+    assert line_address(line_address(addr)) == line_address(addr)
+    assert octoword_address(octoword_address(addr)) == octoword_address(addr)
+    assert doubleword_address(doubleword_address(addr)) == doubleword_address(addr)

@@ -1,0 +1,100 @@
+"""Unit tests for the assembler and program layout."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cpu.assembler import assemble
+from repro.cpu.isa import AHI, J, JNZ, LHI, LR, NOPR, TEND, LG, Mem
+from repro.errors import AssemblyError
+
+
+def test_layout_uses_instruction_lengths():
+    program = assemble([LR(1, 2), LHI(3, 4), LG(5, Mem(disp=0))], base=0x1000)
+    addresses = [loc.address for loc in program]
+    assert addresses == [0x1000, 0x1002, 0x1006]
+    assert program.end == 0x100C
+
+
+def test_labels_bare_and_tuple_forms():
+    program = assemble([
+        "top",
+        LHI(1, 0),
+        ("middle", AHI(1, 1)),
+        J("top"),
+    ])
+    assert program.labels["top"] == program.entry
+    assert program.labels["middle"] == program.entry + 4
+
+
+def test_trailing_label_points_past_end():
+    program = assemble([LHI(1, 0), "end"])
+    assert program.labels["end"] == program.end
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AssemblyError):
+        assemble(["a", LHI(1, 0), ("a", LHI(2, 0))])
+
+
+def test_undefined_branch_target_rejected():
+    with pytest.raises(AssemblyError):
+        assemble([J("nowhere")])
+
+
+def test_next_address_sequencing():
+    program = assemble([LHI(1, 0), AHI(1, 1), NOPR()])
+    first = program.entry
+    second = program.next_address(first)
+    third = program.next_address(second)
+    assert program.at(second).instruction.mnemonic == "AHI"
+    assert program.at(third).instruction.mnemonic == "NOPR"
+    assert program.next_address(third) == program.end
+
+
+def test_next_address_requires_valid_address():
+    program = assemble([LHI(1, 0)])
+    with pytest.raises(AssemblyError):
+        program.next_address(program.entry + 1)
+
+
+def test_target_address_resolution():
+    program = assemble([("top", LHI(1, 0)), JNZ("top")])
+    branch = program.at(program.entry + 4).instruction
+    assert program.target_address(branch) == program.entry
+
+
+def test_target_of_non_branch_rejected():
+    program = assemble([LHI(1, 0)])
+    with pytest.raises(AssemblyError):
+        program.target_address(program.at(program.entry).instruction)
+
+
+def test_non_instruction_item_rejected():
+    with pytest.raises(AssemblyError):
+        assemble([42])
+
+
+def test_slice_between_labels():
+    program = assemble([
+        LHI(1, 0),
+        "body",
+        AHI(1, 1),
+        AHI(1, 2),
+        "after",
+        TEND(),
+    ])
+    body = program.slice("body", "after")
+    assert [loc.instruction.operands[1] for loc in body] == [1, 2]
+
+
+@given(st.lists(st.sampled_from([2, 4, 6]), min_size=1, max_size=50))
+def test_addresses_are_contiguous_property(lengths):
+    """Property: each instruction starts where the previous one ended."""
+    from repro.cpu.isa import Instruction
+
+    items = [Instruction("NOPR", (), length=n) for n in lengths]
+    program = assemble(items, base=0x2000)
+    expected = 0x2000
+    for loc in program:
+        assert loc.address == expected
+        expected += loc.instruction.length

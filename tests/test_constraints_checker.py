@@ -1,0 +1,122 @@
+"""Unit tests for the static constrained-transaction checker."""
+
+from repro.core.constraints import check_constrained_block
+from repro.cpu.assembler import assemble
+from repro.cpu.isa import (
+    AGSI,
+    AHI,
+    CIJ,
+    DSG,
+    J,
+    JNZ,
+    LG,
+    LHI,
+    Mem,
+    NOPR,
+    TBEGIN,
+    TBEGINC,
+    TEND,
+)
+
+
+def check(items, **kwargs):
+    program = assemble(items, base=0x1000)
+    tbeginc = next(
+        loc.address for loc in program
+        if loc.instruction.mnemonic == "TBEGINC"
+    )
+    return check_constrained_block(program, tbeginc, **kwargs)
+
+
+def test_conforming_block():
+    report = check([
+        TBEGINC(),
+        LG(1, Mem(disp=0x100)),
+        AHI(1, 1),
+        AGSI(Mem(disp=0x100), 1),
+        TEND(),
+    ])
+    assert report.ok
+    assert report.instruction_count == 3
+
+
+def test_double_linked_list_insert_conforms():
+    """The paper: "many common operations like double-linked list-insert/
+    delete operations can be performed"."""
+    node, prev, nxt = 0x1000_00, 0x2000_00, 0x3000_00
+    report = check([
+        TBEGINC(),
+        LHI(1, node),
+        AGSI(Mem(disp=prev + 8), 0),   # prev->next = node (simplified RMW)
+        AGSI(Mem(disp=nxt + 16), 0),   # next->prev = node
+        AGSI(Mem(disp=node), 0),
+        TEND(),
+    ])
+    assert report.ok
+
+
+def test_too_many_instructions():
+    body = [AHI(1, 1)] * 33
+    report = check([TBEGINC(), *body, TEND()])
+    assert not report.ok
+    assert any("instructions exceed" in v for v in report.violations)
+
+
+def test_itext_window_exceeded():
+    body = [LG(1, Mem(disp=0x100))] * 45  # 45 x 6 bytes = 270 > 256
+    report = check([TBEGINC(), *body, TEND()])
+    assert any("bytes" in v for v in report.violations)
+
+
+def test_backward_branch_rejected():
+    report = check([
+        TBEGINC(),
+        ("loop", AHI(1, -1)),
+        JNZ("loop"),
+        TEND(),
+    ])
+    assert any("backward branch" in v for v in report.violations)
+
+
+def test_forward_branch_allowed():
+    report = check([
+        TBEGINC(),
+        CIJ(1, 0, 8, "skip"),
+        AHI(1, 1),
+        ("skip", NOPR()),
+        TEND(),
+    ])
+    assert report.ok
+
+
+def test_restricted_instruction_flagged():
+    report = check([TBEGINC(), DSG(1, 2), TEND()])
+    assert any("DSG" in v for v in report.violations)
+
+
+def test_nested_tbegin_flagged():
+    report = check([TBEGINC(), TBEGIN(), TEND(), TEND()])
+    assert any("TBEGIN" in v for v in report.violations)
+
+
+def test_missing_tend():
+    report = check([TBEGINC(), AHI(1, 1)])
+    assert any("without a TEND" in v for v in report.violations)
+
+
+def test_wrong_start_address():
+    program = assemble([NOPR(), TBEGINC(), TEND()])
+    report = check_constrained_block(program, program.entry)
+    assert not report.ok
+
+
+def test_branch_out_of_window_rejected():
+    filler = [NOPR()] * 140  # 280 bytes of filler after the branch target
+    report = check([
+        TBEGINC(),
+        CIJ(1, 0, 8, "far"),
+        TEND(),
+        *filler,
+        ("far", NOPR()),
+    ])
+    assert any("window" in v for v in report.violations)

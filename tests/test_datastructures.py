@@ -1,0 +1,228 @@
+"""Tests for the transactional data structures."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.htm.api import Ctx, HtmMachine
+from repro.htm.datastructures import ConcurrentQueue, HashTable, Stack
+from repro.params import ZEC12
+
+BASE = 0x400000
+
+
+def run_threads(*fns, n_cpus=None):
+    machine = HtmMachine(ZEC12.with_cpus(n_cpus or max(len(fns), 1)))
+    for fn in fns:
+        machine.spawn(fn)
+    result = machine.run()
+    for engine in machine.engines:
+        engine.quiesce()
+    return machine, result
+
+
+class TestHashTable:
+    def test_put_get_roundtrip(self):
+        table = HashTable(BASE, buckets=16)
+        seen = {}
+
+        def worker(ctx: Ctx):
+            yield from table.put(ctx, 1, 100)
+            yield from table.put(ctx, 2, 200)
+            seen[1] = yield from table.get(ctx, 1)
+            seen[2] = yield from table.get(ctx, 2)
+            seen[3] = yield from table.get(ctx, 3)
+
+        run_threads(worker)
+        assert seen == {1: 100, 2: 200, 3: None}
+
+    def test_update_existing_key(self):
+        table = HashTable(BASE, buckets=16)
+        seen = {}
+
+        def worker(ctx: Ctx):
+            yield from table.put(ctx, 5, 1)
+            yield from table.put(ctx, 5, 2)
+            seen["v"] = yield from table.get(ctx, 5)
+
+        run_threads(worker)
+        assert seen["v"] == 2
+
+    def test_remove(self):
+        table = HashTable(BASE, buckets=16)
+        seen = {}
+
+        def worker(ctx: Ctx):
+            yield from table.put(ctx, 5, 1)
+            seen["removed"] = yield from table.remove(ctx, 5)
+            seen["after"] = yield from table.get(ctx, 5)
+            seen["again"] = yield from table.remove(ctx, 5)
+
+        run_threads(worker)
+        assert seen == {"removed": True, "after": None, "again": False}
+
+    def test_zero_key_rejected(self):
+        table = HashTable(BASE, buckets=16)
+
+        def worker(ctx: Ctx):
+            with pytest.raises(ConfigurationError):
+                yield from table.put(ctx, 0, 1)
+
+        run_threads(worker)
+
+    def test_bucket_overflow_reports_failure(self):
+        table = HashTable(BASE, buckets=1)  # all keys share one bucket
+        outcomes = []
+
+        def worker(ctx: Ctx):
+            for key in range(1, HashTable.SLOTS_PER_BUCKET + 2):
+                outcomes.append((yield from table.put(ctx, key, key)))
+
+        run_threads(worker)
+        assert outcomes.count(True) == HashTable.SLOTS_PER_BUCKET
+        assert outcomes[-1] is False
+
+    def test_locked_and_elided_variants_agree(self):
+        table = HashTable(BASE, buckets=16)
+        seen = {}
+
+        def worker(ctx: Ctx):
+            yield from table.put(ctx, 7, 70, elide=False)
+            seen["elided"] = yield from table.get(ctx, 7, elide=True)
+            yield from table.put(ctx, 8, 80, elide=True)
+            seen["locked"] = yield from table.get(ctx, 8, elide=False)
+
+        run_threads(worker)
+        assert seen == {"elided": 70, "locked": 80}
+
+    def test_concurrent_distinct_keys(self):
+        table = HashTable(BASE, buckets=64)
+        missing = []
+
+        def make_worker(tid):
+            def worker(ctx: Ctx):
+                keys = [tid * 100 + i + 1 for i in range(15)]
+                for key in keys:
+                    yield from table.put(ctx, key, key * 2)
+                for key in keys:
+                    value = yield from table.get(ctx, key)
+                    if value != key * 2:
+                        missing.append(key)
+            return worker
+
+        run_threads(*[make_worker(t) for t in range(4)])
+        assert not missing
+
+
+class TestConcurrentQueue:
+    def test_fifo_single_thread(self):
+        queue = ConcurrentQueue(BASE, capacity=64, max_threads=1)
+        order = []
+
+        def worker(ctx: Ctx):
+            yield from queue.initialize(ctx)
+            for i in (10, 20, 30):
+                yield from queue.enqueue(ctx, i)
+            while True:
+                value = yield from queue.dequeue(ctx)
+                if value is None:
+                    break
+                order.append(value)
+
+        run_threads(worker)
+        assert order == [10, 20, 30]
+
+    def test_dequeue_empty_returns_none(self):
+        queue = ConcurrentQueue(BASE, capacity=8, max_threads=1)
+        seen = {}
+
+        def worker(ctx: Ctx):
+            yield from queue.initialize(ctx)
+            seen["v"] = yield from queue.dequeue(ctx)
+
+        run_threads(worker)
+        assert seen["v"] is None
+
+    @pytest.mark.parametrize("use_tx", [True, False])
+    def test_concurrent_conservation(self, use_tx):
+        """Every enqueued value is dequeued exactly once (no loss, no
+        duplication) across threads."""
+        n_threads, per_thread = 3, 12
+        queue = ConcurrentQueue(BASE, capacity=128, max_threads=n_threads)
+        popped = []
+
+        def make_worker(tid):
+            def worker(ctx: Ctx):
+                if tid == 0:
+                    yield from queue.initialize(ctx)
+                else:
+                    while (yield from ctx.load(queue.tail_addr)) == 0:
+                        yield from ctx.delay(50)
+                for i in range(per_thread):
+                    yield from queue.enqueue(ctx, tid * 1000 + i + 1,
+                                             use_tx=use_tx)
+                for _ in range(per_thread):
+                    while True:
+                        value = yield from queue.dequeue(ctx, use_tx=use_tx)
+                        if value is not None:
+                            popped.append(value)
+                            break
+                        yield from ctx.delay(50)
+            return worker
+
+        run_threads(*[make_worker(t) for t in range(n_threads)])
+        assert len(popped) == n_threads * per_thread
+        assert len(set(popped)) == len(popped)
+
+    def test_arena_exhaustion(self):
+        queue = ConcurrentQueue(BASE, capacity=4, max_threads=1)
+
+        def worker(ctx: Ctx):
+            yield from queue.initialize(ctx)
+            with pytest.raises(ConfigurationError):
+                for i in range(10):
+                    yield from queue.enqueue(ctx, i + 1)
+
+        run_threads(worker)
+
+
+class TestStack:
+    def test_push_pop_lifo(self):
+        stack = Stack(BASE)
+        order = []
+
+        def worker(ctx: Ctx):
+            for i in (1, 2, 3):
+                yield from stack.push(ctx, i)
+            for _ in range(4):
+                order.append((yield from stack.pop(ctx)))
+
+        run_threads(worker)
+        assert order == [3, 2, 1, None]
+
+    def test_opacity_invariant_under_concurrency(self):
+        """The paper's motivating example: count and top pointer always
+        consistent — a popper never dereferences a NULL top while the
+        count claims elements exist."""
+        stack = Stack(BASE)
+        inconsistencies = []
+
+        def pusher(ctx: Ctx):
+            for i in range(20):
+                yield from stack.push(ctx, i + 1)
+
+        def popper(ctx: Ctx):
+            def body(t: Ctx):
+                count = yield from t.load(stack.count_addr)
+                top = yield from t.load(stack.top_addr)
+                return (count, top)
+
+            for _ in range(40):
+                count, top = yield from ctx.transaction(
+                    body, lock=stack.lock_addr
+                )
+                if count > 0 and top == 0:
+                    inconsistencies.append((count, top))
+                yield from ctx.delay(17)
+
+        run_threads(pusher, popper)
+        assert not inconsistencies

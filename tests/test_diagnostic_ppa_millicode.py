@@ -1,0 +1,113 @@
+"""Unit tests for the Transaction Diagnostic Control, PPA and millicode."""
+
+import random
+
+import pytest
+
+from repro.core.abort import TransactionAbort
+from repro.core.diagnostic import TransactionDiagnosticControl
+from repro.core.millicode import (
+    BROADCAST_STOP_THRESHOLD,
+    Millicode,
+    SPECULATION_OFF_THRESHOLD,
+)
+from repro.core.ppa import PpaAssist
+from repro.errors import ConfigurationError
+from repro.params import Latencies
+
+
+class TestDiagnosticControl:
+    def test_mode0_never_aborts(self):
+        tdc = TransactionDiagnosticControl(random.Random(1), mode=0)
+        assert not any(tdc.should_abort_now(False) for _ in range(1000))
+        assert not tdc.must_abort_before_tend(False, fired_already=False)
+
+    def test_mode1_aborts_sometimes(self):
+        tdc = TransactionDiagnosticControl(random.Random(1), mode=1)
+        hits = sum(tdc.should_abort_now(False) for _ in range(2000))
+        assert 0 < hits < 2000
+
+    def test_mode2_guarantees_abort_before_tend(self):
+        tdc = TransactionDiagnosticControl(random.Random(1), mode=2)
+        assert tdc.must_abort_before_tend(False, fired_already=False)
+        assert not tdc.must_abort_before_tend(False, fired_already=True)
+
+    def test_mode2_degrades_to_mode1_for_constrained(self):
+        """"The latter setting is treated like the less aggressive
+        setting for constrained transactions."""
+        tdc = TransactionDiagnosticControl(random.Random(1), mode=2)
+        assert tdc.effective_mode(constrained=True) == 1
+        assert not tdc.must_abort_before_tend(True, fired_already=False)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TransactionDiagnosticControl(random.Random(1), mode=5)
+
+
+class TestPpa:
+    def test_zero_count_no_delay(self):
+        ppa = PpaAssist(Latencies(), random.Random(1))
+        assert ppa.delay_cycles(0) == 0
+
+    def test_delay_grows_with_abort_count(self):
+        ppa = PpaAssist(Latencies(), random.Random(1))
+        small = [ppa.delay_cycles(1) for _ in range(200)]
+        large = [ppa.delay_cycles(6) for _ in range(200)]
+        assert sum(large) / len(large) > sum(small) / len(small) * 2
+
+    def test_delay_bounded_by_exponent_cap(self):
+        latencies = Latencies()
+        ppa = PpaAssist(latencies, random.Random(1))
+        ceiling = latencies.on_chip_intervention * (1 << PpaAssist.MAX_EXPONENT)
+        assert all(ppa.delay_cycles(100) <= ceiling for _ in range(200))
+
+    def test_delay_is_randomised(self):
+        ppa = PpaAssist(Latencies(), random.Random(1))
+        assert len({ppa.delay_cycles(3) for _ in range(50)}) > 5
+
+
+class TestMillicodeEscalation:
+    def make(self):
+        rng = random.Random(1)
+        return Millicode(PpaAssist(Latencies(), rng), rng)
+
+    def test_first_abort_immediate_retry(self):
+        plan = self.make().note_constrained_abort()
+        assert plan.delay_cycles == 0
+        assert not plan.broadcast_stop
+
+    def test_speculation_disabled_after_threshold(self):
+        millicode = self.make()
+        plans = [millicode.note_constrained_abort() for _ in range(6)]
+        assert not plans[0].disable_speculation
+        assert plans[SPECULATION_OFF_THRESHOLD - 1].disable_speculation
+
+    def test_broadcast_stop_as_last_resort(self):
+        millicode = self.make()
+        plans = [millicode.note_constrained_abort() for _ in range(10)]
+        assert not plans[0].broadcast_stop
+        assert plans[BROADCAST_STOP_THRESHOLD - 1].broadcast_stop
+        # Broadcast-stop retries do not also delay.
+        assert plans[BROADCAST_STOP_THRESHOLD - 1].delay_cycles == 0
+
+    def test_success_resets_counter(self):
+        millicode = self.make()
+        for _ in range(5):
+            millicode.note_constrained_abort()
+        millicode.note_constrained_success()
+        assert millicode.constrained_abort_count == 0
+        assert not millicode.note_constrained_abort().broadcast_stop
+
+    def test_os_interruption_resets_counter(self):
+        millicode = self.make()
+        for _ in range(5):
+            millicode.note_constrained_abort()
+        millicode.note_os_interruption()
+        assert millicode.constrained_abort_count == 0
+
+    def test_abort_cost_includes_tdb(self):
+        millicode = self.make()
+        abort = TransactionAbort(code=9)
+        without = millicode.abort_processing_cost(abort, False, 8)
+        with_tdb = millicode.abort_processing_cost(abort, True, 8)
+        assert with_tdb > without

@@ -1,0 +1,226 @@
+"""Transaction-engine semantics: atomicity, isolation, nesting, NTSTG."""
+
+import pytest
+
+from conftest import EngineHarness
+
+from repro.core.abort import AbortCode
+from repro.core.txstate import TbeginControls
+from repro.errors import MachineStateError, TransactionAbortSignal
+
+A = 0x10000
+B = 0x20000
+C = 0x30000
+
+
+class TestBasicCommit:
+    def test_committed_stores_reach_memory(self, harness):
+        harness.tbegin()
+        harness.store(0, A, 1)
+        harness.store(0, B, 2)
+        assert harness.tend() == 0
+        harness.quiesce()
+        assert harness.memory.read_int(A, 8) == 1
+        assert harness.memory.read_int(B, 8) == 2
+
+    def test_own_loads_see_own_tx_stores(self, harness):
+        harness.store(0, A, 5)
+        harness.tbegin()
+        harness.store(0, A, 6)
+        assert harness.load(0, A) == 6
+        harness.tend()
+
+    def test_commit_clears_tx_state(self, harness):
+        engine = harness.engine()
+        harness.tbegin()
+        harness.store(0, A, 1)
+        harness.load(0, B)
+        harness.tend()
+        assert not engine.tx.active
+        assert engine.tx.read_set == set()
+        assert engine.store_cache.tx_entry_count() == 0
+        assert engine.stats_tx_committed == 1
+
+
+class TestAbort:
+    def test_tabort_discards_stores(self, harness):
+        harness.store(0, A, 42)
+        harness.quiesce()
+        harness.tbegin()
+        harness.store(0, A, 99)
+        with pytest.raises(TransactionAbortSignal):
+            harness.engine().tx_abort(256)
+        abort = harness.process_abort()
+        assert abort.code == 256
+        assert abort.condition_code == 2  # even code: transient
+        harness.quiesce()
+        assert harness.memory.read_int(A, 8) == 42
+
+    def test_tabort_odd_code_is_permanent(self, harness):
+        harness.tbegin()
+        with pytest.raises(TransactionAbortSignal):
+            harness.engine().tx_abort(257)
+        assert harness.process_abort().condition_code == 3
+
+    def test_tabort_small_code_biased_to_256(self, harness):
+        harness.tbegin()
+        with pytest.raises(TransactionAbortSignal):
+            harness.engine().tx_abort(4)
+        assert harness.process_abort().code == 256 + 4
+
+    def test_tabort_outside_transaction_rejected(self, harness):
+        with pytest.raises(MachineStateError):
+            harness.engine().tx_abort(256)
+
+    def test_abort_restores_nothing_from_read_set(self, harness):
+        """Loads have no memory side effects to roll back."""
+        harness.store(0, A, 7)
+        harness.quiesce()
+        harness.tbegin()
+        assert harness.load(0, A) == 7
+        with pytest.raises(TransactionAbortSignal):
+            harness.engine().tx_abort(256)
+        harness.process_abort()
+        assert harness.load(0, A) == 7
+
+    def test_stats_count_aborts(self, harness):
+        harness.tbegin()
+        with pytest.raises(TransactionAbortSignal):
+            harness.engine().tx_abort(256)
+        harness.process_abort()
+        assert harness.engine().stats_tx_aborted == 1
+
+
+class TestNesting:
+    def test_nested_commit_at_outermost_only(self, harness):
+        engine = harness.engine()
+        harness.tbegin()
+        harness.tbegin()
+        harness.store(0, A, 1)
+        assert harness.tend() == 1        # inner TEND: still transactional
+        assert engine.tx.active
+        harness.quiesce()
+        assert harness.memory.read_int(A, 8) == 0  # not yet visible
+        assert harness.tend() == 0        # outermost TEND commits
+        harness.quiesce()
+        assert harness.memory.read_int(A, 8) == 1
+
+    def test_nesting_depth_tracking(self, harness):
+        engine = harness.engine()
+        assert engine.nesting_depth()[1] == 0
+        harness.tbegin()
+        harness.tbegin()
+        harness.tbegin()
+        assert engine.nesting_depth()[1] == 3
+        harness.tend()
+        assert engine.nesting_depth()[1] == 2
+
+    def test_flattened_nesting_abort_unwinds_everything(self, harness):
+        engine = harness.engine()
+        harness.tbegin()
+        harness.tbegin()
+        harness.store(0, A, 1)
+        with pytest.raises(TransactionAbortSignal):
+            engine.tx_abort(256)
+        harness.process_abort()
+        assert engine.tx.depth == 0
+        harness.quiesce()
+        assert harness.memory.read_int(A, 8) == 0
+
+    def test_max_nesting_depth_aborts_with_code_13(self, harness):
+        engine = harness.engine()
+        for _ in range(engine.tx.max_nesting_depth):
+            harness.tbegin()
+        with pytest.raises(TransactionAbortSignal):
+            engine.tx_begin(None, constrained=False, ia=0)
+        abort = harness.process_abort()
+        assert abort.code == AbortCode.NESTING_DEPTH_EXCEEDED
+        assert abort.condition_code == 3
+
+    def test_effective_controls_and_of_nest(self, harness):
+        engine = harness.engine()
+        harness.tbegin(controls=TbeginControls(allow_fpr_modification=True))
+        assert engine.tx.effective_fpr_allowed
+        harness.tbegin(controls=TbeginControls(allow_fpr_modification=False))
+        assert not engine.tx.effective_fpr_allowed
+        harness.tend()
+        assert engine.tx.effective_fpr_allowed
+
+    def test_effective_pifc_is_maximum(self, harness):
+        engine = harness.engine()
+        harness.tbegin(controls=TbeginControls(pifc=1))
+        harness.tbegin(controls=TbeginControls(pifc=0))
+        assert engine.tx.effective_pifc == 1
+        harness.tbegin(controls=TbeginControls(pifc=2))
+        assert engine.tx.effective_pifc == 2
+
+    def test_tbeginc_inside_tbegin_opens_normal_level(self, harness):
+        """A TBEGINC within a non-constrained transaction is treated as
+        opening a new non-constrained nesting level."""
+        engine = harness.engine()
+        harness.tbegin()
+        harness.tbegin(constrained=True)
+        assert engine.tx.depth == 2
+        assert not engine.tx.constrained
+
+
+class TestNtstg:
+    def test_ntstg_isolated_but_survives_abort(self, harness):
+        harness.tbegin()
+        harness.ntstg(0, A, 0xDEAD)
+        harness.store(0, B, 0xBEEF)
+        harness.quiesce()
+        assert harness.memory.read_int(A, 8) == 0  # still isolated
+        with pytest.raises(TransactionAbortSignal):
+            harness.engine().tx_abort(256)
+        harness.process_abort()
+        harness.quiesce()
+        assert harness.memory.read_int(A, 8) == 0xDEAD  # survived
+        assert harness.memory.read_int(B, 8) == 0       # discarded
+
+    def test_ntstg_committed_normally_on_tend(self, harness):
+        harness.tbegin()
+        harness.ntstg(0, A, 0x1234)
+        harness.tend()
+        harness.quiesce()
+        assert harness.memory.read_int(A, 8) == 0x1234
+
+    def test_ntstg_requires_doubleword_alignment(self, harness):
+        from repro.errors import ProgramInterruptionSignal
+
+        with pytest.raises(ProgramInterruptionSignal):
+            harness.engine().ntstg(A + 3, 1)
+
+
+class TestCompareAndSwap:
+    def test_cas_success(self, harness):
+        harness.store(0, A, 10)
+        assert harness.cas(0, A, 10, 20)
+        assert harness.load(0, A) == 20
+
+    def test_cas_failure_reports_observed(self, harness):
+        harness.store(0, A, 10)
+        swapped, observed, _lat = harness._retry(
+            lambda: harness.engine().compare_and_swap(A, 99, 20)
+        )
+        assert not swapped
+        assert observed == 10
+        assert harness.load(0, A) == 10
+
+
+class TestAddToStorage:
+    def test_add_returns_new_value(self, harness):
+        harness.store(0, A, 5)
+        assert harness.add(0, A, 3) == 8
+        assert harness.load(0, A) == 8
+
+    def test_add_negative_increment(self, harness):
+        harness.store(0, A, 5)
+        assert harness.add(0, A, -7, 8) == (5 - 7) & ((1 << 64) - 1)
+
+
+class TestTendOutsideTransaction:
+    def test_tend_outside_returns_depth_zero(self, harness):
+        latency, depth = harness.engine().tx_end(0)
+        assert depth == 0
+        assert latency > 0

@@ -1,0 +1,65 @@
+"""Error hierarchy and public-API surface tests."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+def test_exception_hierarchy():
+    assert issubclass(errors.ConfigurationError, errors.SimulationError)
+    assert issubclass(errors.AssemblyError, errors.SimulationError)
+    assert issubclass(errors.MachineStateError, errors.SimulationError)
+    assert issubclass(errors.ProtocolError, errors.SimulationError)
+    # Control-flow signals are NOT user errors.
+    assert not issubclass(errors.TransactionAbortSignal,
+                          errors.SimulationError)
+    assert not issubclass(errors.ProgramInterruptionSignal,
+                          errors.SimulationError)
+    assert issubclass(errors.TransactionAbortSignal, errors.ControlFlowSignal)
+
+
+def test_signal_payloads():
+    abort = object()
+    signal = errors.TransactionAbortSignal(abort)
+    assert signal.abort is abort
+    interruption = object()
+    signal2 = errors.ProgramInterruptionSignal(interruption)
+    assert signal2.interruption is interruption
+    signal3 = errors.ConstraintViolationSignal("too many octowords")
+    assert signal3.reason == "too many octowords"
+
+
+def test_top_level_exports_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+def test_subpackage_exports_resolve():
+    import repro.bench
+    import repro.core
+    import repro.cpu
+    import repro.htm
+    import repro.mem
+    import repro.sim
+    import repro.sync
+    import repro.workloads
+
+    for module in (repro.bench, repro.core, repro.cpu, repro.htm, repro.mem,
+                   repro.sim, repro.sync, repro.workloads):
+        for name in module.__all__:
+            assert getattr(module, name) is not None, (module.__name__, name)
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2
+
+
+def test_public_items_have_docstrings():
+    """Every public item exported at the top level is documented."""
+    import inspect
+
+    for name in repro.__all__:
+        obj = getattr(repro, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            assert obj.__doc__, f"{name} lacks a docstring"

@@ -1,0 +1,29 @@
+"""Smoke tests: every shipped example runs to completion."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip()
+
+
+def test_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "lock_elision", "constrained_queue",
+            "debugging_features", "tracing_aborts"} <= names

@@ -1,0 +1,63 @@
+"""Unit tests for program-interruption filtering (PIFC)."""
+
+import pytest
+
+from repro.core.filtering import (
+    ExceptionGroup,
+    InterruptionCode,
+    ProgramInterruption,
+    is_filtered,
+)
+
+
+def interruption(code, instruction_fetch=False):
+    return ProgramInterruption(code=code, instruction_fetch=instruction_fetch)
+
+
+@pytest.mark.parametrize("code,group", [
+    (InterruptionCode.OPERATION, ExceptionGroup.ALWAYS_INTERRUPTS),
+    (InterruptionCode.PRIVILEGED_OPERATION, ExceptionGroup.NEVER_IN_TRANSACTION),
+    (InterruptionCode.FIXED_POINT_DIVIDE, ExceptionGroup.DATA_ARITHMETIC),
+    (InterruptionCode.FIXED_POINT_OVERFLOW, ExceptionGroup.DATA_ARITHMETIC),
+    (InterruptionCode.PAGE_TRANSLATION, ExceptionGroup.ACCESS),
+    (InterruptionCode.SEGMENT_TRANSLATION, ExceptionGroup.ACCESS),
+    (InterruptionCode.TRANSACTION_CONSTRAINT, ExceptionGroup.ALWAYS_INTERRUPTS),
+    (InterruptionCode.PER_EVENT, ExceptionGroup.ALWAYS_INTERRUPTS),
+])
+def test_exception_groups(code, group):
+    assert interruption(code).group is group
+
+
+def test_unknown_code_defaults_to_always_interrupts():
+    assert interruption(0x7777).group is ExceptionGroup.ALWAYS_INTERRUPTS
+
+
+class TestPifc:
+    def test_pifc0_filters_nothing(self):
+        assert not is_filtered(interruption(InterruptionCode.FIXED_POINT_DIVIDE), 0)
+        assert not is_filtered(interruption(InterruptionCode.PAGE_TRANSLATION), 0)
+
+    def test_pifc1_filters_group4_only(self):
+        assert is_filtered(interruption(InterruptionCode.FIXED_POINT_DIVIDE), 1)
+        assert not is_filtered(interruption(InterruptionCode.PAGE_TRANSLATION), 1)
+
+    def test_pifc2_filters_groups_3_and_4(self):
+        assert is_filtered(interruption(InterruptionCode.FIXED_POINT_DIVIDE), 2)
+        assert is_filtered(interruption(InterruptionCode.PAGE_TRANSLATION), 2)
+
+    def test_always_interrupting_groups_never_filtered(self):
+        for pifc in (0, 1, 2):
+            assert not is_filtered(
+                interruption(InterruptionCode.TRANSACTION_CONSTRAINT), pifc
+            )
+            assert not is_filtered(
+                interruption(InterruptionCode.OPERATION), pifc
+            )
+
+    def test_instruction_fetch_exceptions_never_filtered(self):
+        """"Exceptions related to instruction fetching are never
+        filtered" — a code page fault must reach the OS."""
+        fault = interruption(InterruptionCode.PAGE_TRANSLATION,
+                             instruction_fetch=True)
+        for pifc in (0, 1, 2):
+            assert not is_filtered(fault, pifc)

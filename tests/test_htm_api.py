@@ -1,0 +1,215 @@
+"""Tests for the high-level HTM API (coroutine threads)."""
+
+import pytest
+
+from repro.core.abort import AbortCode
+from repro.htm.api import Ctx, HtmMachine, TransactionFailed
+from repro.params import ZEC12
+
+COUNTER = 0x10000
+LOCK = 0x20000
+
+
+def make_machine(n: int = 1) -> HtmMachine:
+    return HtmMachine(ZEC12.with_cpus(max(n, 1)))
+
+
+class TestPlainOps:
+    def test_load_store_roundtrip(self):
+        def worker(ctx: Ctx):
+            yield from ctx.store(COUNTER, 42)
+            value = yield from ctx.load(COUNTER)
+            assert value == 42
+
+        machine = make_machine()
+        machine.spawn(worker)
+        machine.run()
+
+    def test_add_and_cas(self):
+        seen = {}
+
+        def worker(ctx: Ctx):
+            seen["add"] = yield from ctx.add(COUNTER, 5)
+            seen["cas_ok"] = yield from ctx.cas(COUNTER, 5, 9)
+            seen["cas_fail"] = yield from ctx.cas(COUNTER, 5, 11)
+            seen["final"] = yield from ctx.load(COUNTER)
+
+        machine = make_machine()
+        machine.spawn(worker)
+        machine.run()
+        assert seen == {"add": 5, "cas_ok": True, "cas_fail": False,
+                        "final": 9}
+
+    def test_rand_is_bounded_and_deterministic(self):
+        values = []
+
+        def worker(ctx: Ctx):
+            for _ in range(20):
+                values.append((yield from ctx.rand(10)))
+
+        machine = make_machine()
+        machine.spawn(worker)
+        machine.run()
+        assert all(0 <= v < 10 for v in values)
+
+    def test_lock_unlock(self):
+        def worker(ctx: Ctx):
+            yield from ctx.lock(LOCK)
+            value = yield from ctx.load(LOCK)
+            assert value == 1
+            yield from ctx.unlock(LOCK)
+
+        machine = make_machine()
+        machine.spawn(worker)
+        machine.run()
+        machine.engines[0].quiesce()
+        assert machine.memory.read_int(LOCK, 8) == 0
+
+
+class TestTransactions:
+    def test_transaction_commits_and_returns_value(self):
+        results = {}
+
+        def body(t: Ctx):
+            value = yield from t.load(COUNTER)
+            yield from t.store(COUNTER, value + 1)
+            return value + 1
+
+        def worker(ctx: Ctx):
+            results["r"] = yield from ctx.transaction(body)
+
+        machine = make_machine()
+        machine.spawn(worker)
+        result = machine.run()
+        assert results["r"] == 1
+        assert result.total_committed == 1
+        machine.engines[0].quiesce()
+        assert machine.memory.read_int(COUNTER, 8) == 1
+
+    def test_transaction_without_fallback_raises_on_permanent(self):
+        def body(t: Ctx):
+            t.engine.tx_abort(257)  # odd: CC3, permanent
+            yield
+
+        def worker(ctx: Ctx):
+            with pytest.raises(TransactionFailed):
+                yield from ctx.transaction(body)
+
+        machine = make_machine()
+        machine.spawn(worker)
+        machine.run()
+
+    def test_retry_then_fallback_under_elision(self):
+        """A body that always TABORTs ends up on the lock-based fallback."""
+        attempts = []
+
+        def body(t: Ctx):
+            attempts.append(1)
+            if len(attempts) <= 10:
+                t.engine.tx_abort(256)
+            yield from t.store(COUNTER, 7)
+
+        def fallback(t: Ctx):
+            yield from t.store(COUNTER, 99)
+
+        def worker(ctx: Ctx):
+            yield from ctx.transaction(body, lock=LOCK, fallback=fallback,
+                                       max_retries=3)
+
+        machine = make_machine()
+        machine.spawn(worker)
+        machine.run()
+        machine.engines[0].quiesce()
+        assert machine.memory.read_int(COUNTER, 8) == 99
+        assert machine.memory.read_int(LOCK, 8) == 0  # lock released
+
+    def test_constrained_transaction_retries_until_success(self):
+        attempts = []
+
+        def body(t: Ctx):
+            attempts.append(1)
+            if len(attempts) <= 3:
+                # Simulate transient conflicts via TABORT-like abort.
+                t.engine._abort_now(AbortCode.FETCH_CONFLICT)
+                t.engine.raise_if_pending()
+            yield from t.store(COUNTER, 5)
+
+        def worker(ctx: Ctx):
+            yield from ctx.transaction(body, constrained=True)
+
+        machine = make_machine()
+        machine.spawn(worker)
+        result = machine.run()
+        assert len(attempts) == 4
+        assert result.total_committed == 1
+        machine.engines[0].quiesce()
+        assert machine.memory.read_int(COUNTER, 8) == 5
+
+    def test_elided_lock_busy_forces_retry(self):
+        """One thread holds the lock; the elider aborts (lock busy) until
+        the holder releases, then commits transactionally."""
+        def holder(ctx: Ctx):
+            yield from ctx.lock(LOCK)
+            yield from ctx.delay(2_000)
+            yield from ctx.unlock(LOCK)
+
+        def body(t: Ctx):
+            yield from t.add(COUNTER, 1)
+
+        def elider(ctx: Ctx):
+            yield from ctx.delay(200)  # let the holder get the lock
+            yield from ctx.transaction(body, lock=LOCK, max_retries=50)
+
+        machine = make_machine(2)
+        machine.spawn(holder)
+        machine.spawn(elider)
+        result = machine.run()
+        machine.engines[1].quiesce()
+        assert machine.memory.read_int(COUNTER, 8) == 1
+        assert result.total_committed >= 1
+
+    def test_concurrent_increment_atomicity(self):
+        def body(t: Ctx):
+            yield from t.add(COUNTER, 1)
+
+        def worker(ctx: Ctx):
+            for _ in range(25):
+                yield from ctx.transaction(body, lock=LOCK)
+
+        machine = make_machine(4)
+        for _ in range(4):
+            machine.spawn(worker)
+        machine.run()
+        for engine in machine.engines:
+            engine.quiesce()
+        assert machine.memory.read_int(COUNTER, 8) == 100
+
+    def test_ntstg_through_api(self):
+        def body(t: Ctx):
+            yield from t.ntstg(COUNTER, 0xAA)
+            t.engine.tx_abort(256)
+            yield
+
+        def worker(ctx: Ctx):
+            with pytest.raises(TransactionFailed):
+                yield from ctx.transaction(body, max_retries=1)
+
+        machine = make_machine()
+        machine.spawn(worker)
+        machine.run()
+        machine.engines[0].quiesce()
+        assert machine.memory.read_int(COUNTER, 8) == 0xAA
+
+
+class TestMeasurement:
+    def test_marks_recorded(self):
+        def worker(ctx: Ctx):
+            yield from ctx.mark_start()
+            yield from ctx.delay(100)
+            yield from ctx.mark_end()
+
+        machine = make_machine()
+        machine.spawn(worker)
+        result = machine.run()
+        assert len(result.cpus[0].intervals) == 1
+        assert result.cpus[0].intervals[0] >= 100

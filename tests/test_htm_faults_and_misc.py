@@ -1,0 +1,95 @@
+"""HTM API edge cases: page faults, unhandled aborts, misc errors."""
+
+import pytest
+
+from repro.errors import MachineStateError
+from repro.htm.api import Ctx, HtmMachine
+from repro.params import ZEC12
+
+ADDR = 0x10000
+
+
+def test_page_fault_in_htm_thread_is_serviced_and_retried():
+    machine = HtmMachine(ZEC12)
+    machine.page_table.unmap(ADDR)
+    seen = {}
+
+    def worker(ctx: Ctx):
+        seen["v"] = yield from ctx.load(ADDR)
+
+    machine.spawn(worker)
+    machine.run()
+    assert seen["v"] == 0
+    assert machine.page_table.paged_in  # the OS resolved the fault
+    assert machine.os.interruptions
+
+
+def test_filtered_fault_inside_constrained_tx_interrupts():
+    """Constrained transactions have PIFC 0: faults always reach the OS
+    and the retry then succeeds."""
+    machine = HtmMachine(ZEC12)
+    machine.page_table.unmap(ADDR)
+    commits = []
+
+    def worker(ctx: Ctx):
+        def body(t: Ctx):
+            yield from t.add(ADDR, 1)
+
+        yield from ctx.transaction(body, constrained=True)
+        commits.append(True)
+
+    machine.spawn(worker)
+    machine.run()
+    machine.engines[0].quiesce()
+    assert commits
+    assert machine.memory.read_int(ADDR, 8) == 1
+    assert machine.page_table.paged_in
+
+
+def test_unhandled_abort_in_bare_thread_is_a_usage_error():
+    """Transactional state must be managed through ctx.transaction; a
+    bare body leaking an abort is reported as a machine-state error."""
+    machine = HtmMachine(ZEC12)
+
+    def worker(ctx: Ctx):
+        ctx.engine.tx_begin(None, constrained=False, ia=0)
+        ctx.engine.tx_abort(256)  # raises; nothing catches it
+        yield
+
+    machine.spawn(worker)
+    with pytest.raises(MachineStateError):
+        machine.run()
+
+
+def test_unknown_op_rejected():
+    machine = HtmMachine(ZEC12)
+
+    def worker(ctx: Ctx):
+        yield ("frobnicate", 1)
+
+    machine.spawn(worker)
+    with pytest.raises(MachineStateError):
+        machine.run()
+
+
+def test_delay_op_advances_time():
+    machine = HtmMachine(ZEC12)
+
+    def worker(ctx: Ctx):
+        yield from ctx.delay(12_345)
+
+    machine.spawn(worker)
+    result = machine.run()
+    assert result.cycles >= 12_345
+
+
+def test_spawned_threads_report_instruction_counts():
+    machine = HtmMachine(ZEC12)
+
+    def worker(ctx: Ctx):
+        for _ in range(5):
+            yield from ctx.store(ADDR, 1)
+
+    machine.spawn(worker)
+    result = machine.run()
+    assert result.cpus[0].instructions == 5

@@ -1,0 +1,199 @@
+"""Cross-module integration tests: whole-machine scenarios."""
+
+import pytest
+
+from repro.cpu.assembler import assemble
+from repro.cpu.isa import (
+    AGSI,
+    AHI,
+    HALT,
+    J,
+    JNZ,
+    LG,
+    LHI,
+    LTG,
+    Mem,
+    NOPR,
+    STG,
+    TBEGIN,
+    TBEGINC,
+    TEND,
+)
+from repro.params import ZEC12
+from repro.sim.machine import Machine
+
+DATA = 0x100000
+
+
+def counter_program(addr, iterations, constrained=False):
+    begin = TBEGINC() if constrained else TBEGIN()
+    items = [
+        LHI(9, iterations),
+        ("loop", begin),
+    ]
+    if not constrained:
+        items.append(JNZ("retry"))
+    items += [
+        AGSI(Mem(disp=addr), 1),
+        TEND(),
+        AHI(9, -1),
+        JNZ("loop"),
+        J("done"),
+    ]
+    if not constrained:
+        items += [("retry", J("loop"))]
+    items += [("done", HALT())]
+    return assemble(items)
+
+
+@pytest.mark.parametrize("n_cpus", [2, 4, 8])
+@pytest.mark.parametrize("constrained", [False, True])
+def test_transactional_counter_is_exact(n_cpus, constrained):
+    """The fundamental atomicity check at several scales."""
+    iterations = 40
+    machine = Machine(ZEC12.with_cpus(n_cpus))
+    program = counter_program(DATA, iterations, constrained)
+    for _ in range(n_cpus):
+        machine.add_program(program)
+    machine.run()
+    assert machine.memory.read_int(DATA, 8) == n_cpus * iterations
+
+
+def test_disjoint_counters_never_conflict():
+    machine = Machine(ZEC12.with_cpus(4))
+    for cpu in range(4):
+        machine.add_program(counter_program(DATA + cpu * 4096, 30))
+    result = machine.run()
+    assert result.total_aborted == 0
+    for cpu in range(4):
+        assert machine.memory.read_int(DATA + cpu * 4096, 8) == 30
+
+
+def test_two_counters_on_same_line_conflict_but_stay_exact():
+    """False sharing: different doublewords of one line still serialise."""
+    machine = Machine(ZEC12.with_cpus(2))
+    machine.add_program(counter_program(DATA, 40))
+    machine.add_program(counter_program(DATA + 8, 40))
+    machine.run()
+    assert machine.memory.read_int(DATA, 8) == 40
+    assert machine.memory.read_int(DATA + 8, 8) == 40
+
+
+def test_reader_sees_consistent_pair():
+    """Isolation at the program level: a writer transactionally keeps two
+    words equal; a transactional reader never observes them unequal."""
+    from repro.htm.api import HtmMachine
+
+    observed = []
+
+    def writer(ctx):
+        def body(t):
+            yield from t.add(DATA, 1)
+            yield from t.add(DATA + 256, 1)
+
+        for _ in range(40):
+            yield from ctx.transaction(body, constrained=True)
+
+    def reader(ctx):
+        def body(t):
+            a = yield from t.load(DATA)
+            b = yield from t.load(DATA + 256)
+            return (a, b)
+
+        for _ in range(40):
+            observed.append((yield from ctx.transaction(body,
+                                                        constrained=True)))
+
+    machine = HtmMachine(ZEC12.with_cpus(2))
+    machine.spawn(writer)
+    machine.spawn(reader)
+    machine.run()
+    assert observed
+    assert all(a == b for a, b in observed)
+    machine.engines[0].quiesce()
+    assert machine.memory.read_int(DATA, 8) == 40
+
+
+def test_mixed_tx_and_lock_programs_interoperate():
+    """Strong atomicity: transactional and lock-based code can be mixed
+    (the paper's stepwise-introduction requirement)."""
+    from repro.sync.spinlock import acquire_lock, release_lock
+
+    lock = Mem(disp=0x80000)
+    tx_prog = counter_program(DATA, 30)
+    lock_prog = assemble([
+        LHI(9, 30),
+        ("loop", NOPR()),
+        *acquire_lock(lock, "l"),
+        AGSI(Mem(disp=DATA), 1),
+        *release_lock(lock),
+        AHI(9, -1),
+        JNZ("loop"),
+        HALT(),
+    ])
+    machine = Machine(ZEC12.with_cpus(2))
+    machine.add_program(tx_prog)
+    machine.add_program(lock_prog)
+    machine.run()
+    assert machine.memory.read_int(DATA, 8) == 60
+
+
+def test_deadlock_prone_ordering_resolves():
+    """Two transactions taking two lines in opposite orders: the reject
+    threshold breaks the cycle and both eventually commit."""
+    def prog(first, second):
+        return assemble([
+            LHI(9, 20),
+            ("loop", TBEGIN()),
+            JNZ("retry"),
+            AGSI(Mem(disp=first), 1),
+            AGSI(Mem(disp=second), 1),
+            TEND(),
+            AHI(9, -1),
+            JNZ("loop"),
+            J("done"),
+            ("retry", J("loop")),
+            ("done", HALT()),
+        ])
+
+    machine = Machine(ZEC12.with_cpus(2))
+    machine.add_program(prog(DATA, DATA + 256))
+    machine.add_program(prog(DATA + 256, DATA))
+    machine.run(max_cycles=5_000_000)
+    assert machine.memory.read_int(DATA, 8) == 40
+    assert machine.memory.read_int(DATA + 256, 8) == 40
+
+
+def test_diagnostic_mode2_forces_fallback_path():
+    """Transaction Diagnostic Control mode 2 aborts *every* transaction
+    (at latest before the outermost TEND) — "the latter setting can be
+    used to stress the reaching of the retry-threshold and force the
+    non-transactional fallback path to be used"."""
+    from repro.sync.retry import transaction_with_fallback
+
+    lock = Mem(disp=0x80000)
+    program = assemble([
+        LHI(9, 10),
+        "loop",
+        *transaction_with_fallback([AGSI(Mem(disp=DATA), 1)], lock, "h"),
+        AHI(9, -1),
+        JNZ("loop"),
+        HALT(),
+    ])
+    machine = Machine(ZEC12.with_cpus(1))
+    machine.add_program(program)
+    machine.engines[0].tdc.set_mode(2)
+    machine.run(max_cycles=20_000_000)
+    assert machine.memory.read_int(DATA, 8) == 10
+    # No transaction ever committed: every update took the fallback lock.
+    assert machine.engines[0].stats_tx_committed == 0
+    assert machine.engines[0].stats_tx_aborted >= 10
+
+
+def test_diagnostic_mode2_constrained_still_succeeds():
+    machine = Machine(ZEC12.with_cpus(1))
+    program = counter_program(DATA, 10, constrained=True)
+    machine.add_program(program)
+    machine.engines[0].tdc.set_mode(2)
+    machine.run(max_cycles=10_000_000)
+    assert machine.memory.read_int(DATA, 8) == 10

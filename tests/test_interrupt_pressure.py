@@ -1,0 +1,79 @@
+"""Asynchronous-interruption pressure on transactions.
+
+The paper: interrupts are one of the abort reasons, and for constrained
+transactions "the OS must also ensure time-slices long enough to allow
+the transaction to complete". These tests inject external (timer)
+interruptions at configurable intervals and check the architected
+behaviour: transactions abort with code 2 and CC 2, retries succeed when
+the interval leaves room, and millicode's constrained abort counter is
+reset by OS interruptions (so escalation never punishes interrupt noise).
+"""
+
+from repro.core.abort import AbortCode
+from repro.cpu.assembler import assemble
+from repro.cpu.isa import AGSI, AHI, HALT, J, JNZ, LHI, Mem, TBEGIN, TBEGINC, TEND
+from repro.params import ZEC12
+from repro.sim.machine import Machine
+
+DATA = 0x10000
+
+
+def retry_program(iterations=20, constrained=False):
+    begin = TBEGINC() if constrained else TBEGIN()
+    items = [LHI(9, iterations), ("loop", begin)]
+    if not constrained:
+        items.append(JNZ("retry"))
+    items += [
+        AGSI(Mem(disp=DATA), 1),
+        TEND(),
+        AHI(9, -1),
+        JNZ("loop"),
+        J("done"),
+    ]
+    if not constrained:
+        items.append(("retry", J("loop")))
+    items.append(("done", HALT()))
+    return assemble(items)
+
+
+def test_interrupts_abort_transactions_with_code_2():
+    machine = Machine(ZEC12, external_interrupt_interval=300)
+    cpu = machine.add_program(retry_program())
+    machine.run()
+    assert machine.memory.read_int(DATA, 8) == 20  # retries recovered all
+    assert cpu.aborts
+    assert all(a.code == AbortCode.EXTERNAL_INTERRUPTION for a in cpu.aborts)
+    assert all(a.condition_code == 2 for a in cpu.aborts)  # transient
+
+
+def test_constrained_transactions_survive_interrupt_noise():
+    """Eventual success holds: interruptions reset the millicode abort
+    counter (they do not escalate towards broadcast-stop) and the OS
+    grants enough room to finish."""
+    machine = Machine(ZEC12, external_interrupt_interval=400)
+    machine.add_program(retry_program(constrained=True))
+    machine.run(max_cycles=20_000_000)
+    assert machine.memory.read_int(DATA, 8) == 20
+    assert machine.engines[0].millicode.constrained_abort_count == 0
+
+
+def test_longer_timeslices_mean_fewer_aborts():
+    def aborts_with(interval):
+        machine = Machine(ZEC12, external_interrupt_interval=interval)
+        machine.add_program(retry_program(iterations=30))
+        machine.run()
+        assert machine.memory.read_int(DATA, 8) == 30
+        return machine.engines[0].stats_tx_aborted
+
+    noisy = aborts_with(250)
+    quiet = aborts_with(20_000)
+    assert noisy > quiet
+
+
+def test_interrupts_do_not_break_multicpu_atomicity():
+    machine = Machine(ZEC12.with_cpus(3), external_interrupt_interval=350)
+    program = retry_program(iterations=15)
+    for _ in range(3):
+        machine.add_program(program)
+    machine.run()
+    assert machine.memory.read_int(DATA, 8) == 45

@@ -1,0 +1,105 @@
+"""Tests for the extended ISA: compare, bitwise, BRCT, STCK."""
+
+from repro.cpu.assembler import assemble
+from repro.cpu.isa import (
+    AGSI,
+    BRCT,
+    CGR,
+    HALT,
+    LG,
+    LHI,
+    Mem,
+    MSGR,
+    NGR,
+    OGR,
+    SRL,
+    STCK,
+    XGR,
+)
+from repro.params import ZEC12
+from repro.sim.machine import Machine
+
+
+def run(items):
+    machine = Machine(ZEC12)
+    program = assemble([*items, HALT()])
+    cpu = machine.add_program(program)
+    result = machine.run()
+    return machine, cpu, result
+
+
+def test_cgr_condition_codes():
+    _, cpu, _ = run([LHI(1, 5), LHI(2, 5), CGR(1, 2)])
+    assert cpu.regs.psw.condition_code == 0
+    _, cpu, _ = run([LHI(1, -3), LHI(2, 5), CGR(1, 2)])
+    assert cpu.regs.psw.condition_code == 1
+    _, cpu, _ = run([LHI(1, 9), LHI(2, 5), CGR(1, 2)])
+    assert cpu.regs.psw.condition_code == 2
+
+
+def test_bitwise_operations():
+    _, cpu, _ = run([
+        LHI(1, 0b1100), LHI(2, 0b1010), NGR(1, 2),
+        LHI(3, 0b1100), LHI(4, 0b1010), OGR(3, 4),
+        LHI(5, 0b1100), LHI(6, 0b1010), XGR(5, 6),
+    ])
+    assert cpu.regs.get_gr(1) == 0b1000
+    assert cpu.regs.get_gr(3) == 0b1110
+    assert cpu.regs.get_gr(5) == 0b0110
+
+
+def test_bitwise_cc_zero_vs_nonzero():
+    _, cpu, _ = run([LHI(1, 0b0101), LHI(2, 0b1010), NGR(1, 2)])
+    assert cpu.regs.psw.condition_code == 0
+    _, cpu, _ = run([LHI(1, 1), LHI(2, 1), NGR(1, 2)])
+    assert cpu.regs.psw.condition_code == 1
+
+
+def test_msgr_and_srl():
+    _, cpu, _ = run([LHI(1, 12), LHI(2, 12), MSGR(1, 2), SRL(1, 2)])
+    assert cpu.regs.get_gr(1) == 144 >> 2
+
+
+def test_brct_loop():
+    _, cpu, _ = run([
+        LHI(1, 5),              # loop counter
+        LHI(2, 0),              # accumulator
+        ("loop", LHI(3, 1)),
+        MSGR(3, 2),             # no-op-ish body
+        AGSI(Mem(disp=0x10000), 1),
+        BRCT(1, "loop"),
+    ])
+    machine, cpu, _ = run([
+        LHI(1, 5),
+        ("loop", AGSI(Mem(disp=0x10000), 1)),
+        BRCT(1, "loop"),
+    ])
+    assert machine.memory.read_int(0x10000, 8) == 5
+    assert cpu.regs.get_gr(1) == 0
+
+
+def test_stck_stores_monotonic_timestamps():
+    machine, cpu, _ = run([
+        STCK(Mem(disp=0x20000)),
+        AGSI(Mem(disp=0x30000), 1),   # consume some cycles
+        STCK(Mem(disp=0x20008)),
+        LG(1, Mem(disp=0x20000)),
+        LG(2, Mem(disp=0x20008)),
+    ])
+    t0 = cpu.regs.get_gr(1)
+    t1 = cpu.regs.get_gr(2)
+    assert t1 > t0
+
+
+def test_stck_measures_a_delay():
+    from repro.cpu.isa import PAUSE
+
+    machine, cpu, _ = run([
+        STCK(Mem(disp=0x20000)),
+        PAUSE(1000),
+        STCK(Mem(disp=0x20008)),
+        LG(1, Mem(disp=0x20000)),
+        LG(2, Mem(disp=0x20008)),
+    ])
+    elapsed = cpu.regs.get_gr(2) - cpu.regs.get_gr(1)
+    assert elapsed >= 1000

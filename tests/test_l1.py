@@ -1,0 +1,122 @@
+"""Unit tests for the L1 cache model and the LRU-extension vector."""
+
+from repro.mem.l1 import L1Cache
+from repro.mem.line import Ownership
+from repro.params import CacheGeometry
+
+GEO = CacheGeometry(ways=2, rows=4, line_size=256)
+
+
+def line_for_row(row: int, k: int = 0) -> int:
+    return (row + k * GEO.rows) * GEO.line_size
+
+
+def make_l1(extension: bool = True) -> L1Cache:
+    return L1Cache(GEO, lru_extension_enabled=extension)
+
+
+def test_mark_tx_bits():
+    l1 = make_l1()
+    line = line_for_row(0)
+    l1.directory.install(line, Ownership.EXCLUSIVE)
+    l1.mark_tx_read(line)
+    l1.mark_tx_dirty(line)
+    entry = l1.lookup(line)
+    assert entry.tx_read and entry.tx_dirty
+
+
+def test_mark_on_absent_line_is_noop():
+    l1 = make_l1()
+    l1.mark_tx_read(0x100)   # no crash, nothing installed
+    l1.mark_tx_dirty(0x100)
+    assert l1.lookup(0x100) is None
+
+
+def test_begin_transaction_resets_tx_bits_and_extension():
+    l1 = make_l1()
+    line = line_for_row(1)
+    l1.directory.install(line, Ownership.READ_ONLY)
+    l1.mark_tx_read(line)
+    l1.note_eviction(l1.lookup(line))
+    assert l1.extension_rows() == 1
+    l1.begin_transaction()
+    assert l1.extension_rows() == 0
+    assert not l1.lookup(line).tx_read
+
+
+def test_eviction_of_tx_read_line_sets_extension_row():
+    l1 = make_l1()
+    line = line_for_row(2)
+    l1.directory.install(line, Ownership.READ_ONLY)
+    l1.mark_tx_read(line)
+    victim = l1.directory.remove(line)
+    l1.note_eviction(victim)
+    # Any line mapping to the same row now hits the (imprecise) extension.
+    other = line_for_row(2, k=5)
+    assert l1.extension_hit(other)
+    assert l1.read_set_conflict(other)
+    # Other rows are unaffected.
+    assert not l1.extension_hit(line_for_row(3))
+
+
+def test_eviction_without_extension_loses_footprint():
+    l1 = make_l1(extension=False)
+    line = line_for_row(0)
+    l1.directory.install(line, Ownership.READ_ONLY)
+    l1.mark_tx_read(line)
+    l1.note_eviction(l1.directory.remove(line))
+    assert l1.footprint_lost
+    assert not l1.extension_hit(line)
+
+
+def test_eviction_of_non_tx_line_is_harmless():
+    l1 = make_l1(extension=False)
+    line = line_for_row(0)
+    l1.directory.install(line, Ownership.READ_ONLY)
+    l1.note_eviction(l1.directory.remove(line))
+    assert not l1.footprint_lost
+    assert l1.extension_rows() == 0
+
+
+def test_tx_dirty_eviction_needs_no_extension():
+    """Paper: no LRU-extension action is needed when a tx-dirty cache
+    line is LRU'ed from the L1 (the store cache tracks the write set)."""
+    l1 = make_l1()
+    line = line_for_row(1)
+    l1.directory.install(line, Ownership.EXCLUSIVE)
+    l1.mark_tx_dirty(line)
+    l1.note_eviction(l1.directory.remove(line))
+    assert l1.extension_rows() == 0
+    assert not l1.footprint_lost
+
+
+def test_abort_invalidates_only_tx_dirty_lines():
+    l1 = make_l1()
+    dirty = line_for_row(0)
+    clean = line_for_row(1)
+    l1.directory.install(dirty, Ownership.EXCLUSIVE)
+    l1.directory.install(clean, Ownership.READ_ONLY)
+    l1.mark_tx_dirty(dirty)
+    l1.mark_tx_read(clean)
+    killed = l1.abort_transaction()
+    assert [e.line for e in killed] == [dirty]
+    assert l1.lookup(dirty) is None
+    assert l1.lookup(clean) is not None
+    assert not l1.lookup(clean).tx_read  # tx state cleared
+
+
+def test_read_set_conflict_checks_precise_bit_first():
+    l1 = make_l1()
+    line = line_for_row(3)
+    l1.directory.install(line, Ownership.READ_ONLY)
+    l1.mark_tx_read(line)
+    assert l1.read_set_conflict(line)
+    assert not l1.write_set_conflict(line)
+
+
+def test_write_set_conflict():
+    l1 = make_l1()
+    line = line_for_row(3)
+    l1.directory.install(line, Ownership.EXCLUSIVE)
+    l1.mark_tx_dirty(line)
+    assert l1.write_set_conflict(line)

@@ -1,0 +1,102 @@
+"""Latency-model tests: fetch cost depends on physical distance.
+
+The chip/MCM topology drives the Figure 5(a) step functions; these tests
+pin the ordering L1 < L2 < on-chip intervention < same-MCM < cross-MCM
+for actual fetches, not just the parameter table.
+"""
+
+import pytest
+
+from conftest import EngineHarness, small_params
+
+from repro.params import MachineParams, Topology, ZEC12
+
+
+def harness_with_topology() -> EngineHarness:
+    """2 cores/chip, 2 chips/MCM, 2 MCMs: CPU pairs (0,1) same chip,
+    (0,2) same MCM, (0,4) cross MCM."""
+    import dataclasses
+
+    params = dataclasses.replace(
+        ZEC12,
+        topology=Topology(cores_per_chip=2, chips_per_mcm=2, mcms=2),
+        speculation=False,
+    )
+    return EngineHarness(params=params, n_cpus=8)
+
+
+def fetch_latency(harness, cpu, line, exclusive=True):
+    """Total latency of a fresh fetch including the wait phase."""
+    from repro.core.engine import FetchRetry
+
+    total = 0
+    while True:
+        try:
+            outcome_latency = harness.engines[cpu]._fetch(line, exclusive)[0]
+            return total + outcome_latency
+        except FetchRetry as retry:
+            total += retry.delay
+            harness.clock[0] += retry.delay
+
+
+LINE = 0x40000
+
+
+def test_memory_fetch_is_slowest():
+    harness = harness_with_topology()
+    lat = harness.params.latencies
+    first = fetch_latency(harness, 0, LINE)
+    assert first >= lat.memory - lat.l1_hit
+
+
+def test_l1_hit_after_fetch():
+    harness = harness_with_topology()
+    fetch_latency(harness, 0, LINE)
+    again = fetch_latency(harness, 0, LINE)
+    assert again == harness.params.latencies.l1_hit
+
+
+@pytest.mark.parametrize("owner,expected_tier", [
+    (1, "on_chip_intervention"),   # same chip as CPU 0
+    (2, "same_mcm"),               # other chip, same MCM
+    (4, "cross_mcm"),              # other MCM
+])
+def test_intervention_latency_by_distance(owner, expected_tier):
+    harness = harness_with_topology()
+    lat = harness.params.latencies
+    # Give `owner` the line exclusively, then time CPU 0's fetch.
+    harness.store(owner, LINE, 1)
+    harness.clock[0] += 10_000  # let the transfer window pass
+    measured = fetch_latency(harness, 0, LINE)
+    tier = getattr(lat, expected_tier)
+    assert measured >= tier, (
+        f"fetch from cpu{owner} cost {measured}, expected >= {tier}"
+    )
+    # And it is cheaper than the next tier up (ordering holds).
+    ceiling = {"on_chip_intervention": lat.same_mcm,
+               "same_mcm": lat.cross_mcm,
+               "cross_mcm": lat.memory + lat.xi_round_trip * 4}[expected_tier]
+    assert measured <= ceiling + lat.xi_round_trip + lat.l1_hit
+
+
+def test_nearer_copies_win():
+    """With the line held by both a same-chip and a cross-MCM CPU
+    (read-only), the fetch sources from the nearest copy."""
+    harness = harness_with_topology()
+    harness.load(1, LINE)   # same chip as CPU 0
+    harness.load(4, LINE)   # other MCM
+    harness.clock[0] += 10_000
+    measured = fetch_latency(harness, 0, LINE, exclusive=False)
+    assert measured <= harness.params.latencies.on_chip_intervention + \
+        harness.params.latencies.l1_hit
+
+
+def test_l3_cheaper_than_intervention_tiers():
+    harness = harness_with_topology()
+    lat = harness.params.latencies
+    harness.load(0, LINE)
+    harness.fabric.release_line(0, LINE)   # stays in the chip L3
+    harness.clock[0] += 10_000
+    measured = fetch_latency(harness, 0, LINE, exclusive=False)
+    assert measured <= lat.l3_hit + lat.l1_hit
+    assert measured < lat.same_mcm

@@ -1,0 +1,70 @@
+"""Unit tests for the backing main memory."""
+
+from hypothesis import given, strategies as st
+
+from repro.mem.memory import MainMemory
+
+
+def test_unwritten_bytes_read_zero():
+    memory = MainMemory()
+    assert memory.read(0x1234, 16) == b"\x00" * 16
+    assert memory.read_int(0x9999, 8) == 0
+
+
+def test_write_read_roundtrip():
+    memory = MainMemory()
+    memory.write(100, b"hello")
+    assert memory.read(100, 5) == b"hello"
+    assert memory.read(99, 7) == b"\x00hello\x00"
+
+
+def test_int_roundtrip_big_endian():
+    memory = MainMemory()
+    memory.write_int(0, 0x0102030405060708, 8)
+    assert memory.read(0, 8) == bytes([1, 2, 3, 4, 5, 6, 7, 8])
+    assert memory.read_int(0, 8) == 0x0102030405060708
+
+
+def test_signed_values_two_complement():
+    memory = MainMemory()
+    memory.write_int(0, -1, 8)
+    assert memory.read_int(0, 8) == (1 << 64) - 1
+    assert memory.read_int(0, 8, signed=True) == -1
+
+
+def test_partial_overwrite():
+    memory = MainMemory()
+    memory.write_int(0, 0xAABBCCDD, 4)
+    memory.write_int(1, 0x11, 1)
+    assert memory.read_int(0, 4) == 0xAA11CCDD
+
+
+def test_apply_writes():
+    memory = MainMemory()
+    memory.apply_writes([(10, 0x41), (11, 0x42), (10, 0x43)])
+    assert memory.read(10, 2) == b"CB"
+
+
+def test_footprint_counts_distinct_bytes():
+    memory = MainMemory()
+    memory.write(0, b"abc")
+    memory.write(1, b"xy")
+    assert memory.footprint() == 3
+
+
+@given(addr=st.integers(min_value=0, max_value=1 << 40),
+       value=st.integers(min_value=0),
+       length=st.integers(min_value=1, max_value=16))
+def test_int_roundtrip_property(addr, value, length):
+    memory = MainMemory()
+    memory.write_int(addr, value, length)
+    mask = (1 << (8 * length)) - 1
+    assert memory.read_int(addr, length) == value & mask
+
+
+@given(data=st.binary(min_size=0, max_size=64),
+       addr=st.integers(min_value=0, max_value=1 << 40))
+def test_bytes_roundtrip_property(data, addr):
+    memory = MainMemory()
+    memory.write(addr, data)
+    assert memory.read(addr, len(data)) == data

@@ -1,0 +1,90 @@
+"""Tests for the OS interruption model."""
+
+import pytest
+
+from repro.core.filtering import InterruptionCode, ProgramInterruption
+from repro.core.per import PerControl, PerEvent, PerEventType
+from repro.cpu.interrupts import OsModel
+from repro.cpu.registers import Psw
+from repro.errors import MachineStateError
+from repro.mem.paging import PageTable
+
+
+def make_os():
+    table = PageTable()
+    return OsModel(table), table
+
+
+def interruption(code, addr=0):
+    return ProgramInterruption(code=code, translation_address=addr)
+
+
+def test_page_fault_pages_in():
+    os_model, table = make_os()
+    table.unmap(0x5000)
+    cost = os_model.handle(
+        interruption(InterruptionCode.PAGE_TRANSLATION, 0x5000), Psw(), 0
+    )
+    assert cost == OsModel.PAGE_IN_COST
+    assert table.present(0x5000)
+    assert len(os_model.interruptions) == 1
+
+
+def test_arithmetic_exceptions_resume():
+    os_model, _ = make_os()
+    for code in (InterruptionCode.FIXED_POINT_DIVIDE,
+                 InterruptionCode.FIXED_POINT_OVERFLOW,
+                 InterruptionCode.DATA):
+        cost = os_model.handle(interruption(code), Psw(), 1)
+        assert cost == OsModel.SERVICE_COST
+
+
+def test_per_event_interruption_serviced():
+    os_model, _ = make_os()
+    cost = os_model.handle(interruption(InterruptionCode.PER_EVENT), Psw(), 0)
+    assert cost == OsModel.SERVICE_COST
+
+
+def test_constraint_violation_raises_by_default():
+    os_model, _ = make_os()
+    with pytest.raises(MachineStateError):
+        os_model.handle(
+            interruption(InterruptionCode.TRANSACTION_CONSTRAINT), Psw(), 0
+        )
+
+
+def test_on_fatal_handler_intercepts():
+    os_model, _ = make_os()
+    seen = []
+    os_model.on_fatal = seen.append
+    os_model.handle(
+        interruption(InterruptionCode.TRANSACTION_CONSTRAINT), Psw(), 0
+    )
+    assert len(seen) == 1
+    assert seen[0].interruption.code == InterruptionCode.TRANSACTION_CONSTRAINT
+
+
+def test_unknown_code_raises_without_handler():
+    os_model, _ = make_os()
+    with pytest.raises(MachineStateError):
+        os_model.handle(interruption(0x4444), Psw(), 0)
+
+
+def test_records_preserve_old_psw():
+    os_model, _ = make_os()
+    psw = Psw(instruction_address=0x1234, condition_code=2)
+    os_model.handle(interruption(InterruptionCode.PAGE_TRANSLATION, 0), psw, 3)
+    record = os_model.interruptions[0]
+    assert record.old_psw.instruction_address == 0x1234
+    assert record.old_psw.condition_code == 2
+    assert record.cpu_id == 3
+    # The record holds a copy, not the live PSW.
+    psw.instruction_address = 0x9999
+    assert record.old_psw.instruction_address == 0x1234
+
+
+def test_per_events_accumulate():
+    os_model, _ = make_os()
+    os_model.note_per_event(PerEvent(PerEventType.TRANSACTION_END, 0x100))
+    os_model.note_per_event(PerEvent(PerEventType.STORAGE_ALTERATION, 0x200))
+    assert len(os_model.per_events) == 2

@@ -1,0 +1,147 @@
+"""Engine-level interruption filtering: page faults and PIFC behaviour."""
+
+import pytest
+
+from conftest import EngineHarness
+
+from repro.core.abort import AbortCode
+from repro.core.filtering import InterruptionCode
+from repro.core.txstate import TbeginControls
+from repro.errors import ProgramInterruptionSignal, TransactionAbortSignal
+from repro.mem.address import PAGE_SIZE
+from repro.mem.paging import PageTable
+
+ADDR = 0x10000
+
+
+class TestPageTable:
+    def test_all_present_by_default(self):
+        table = PageTable()
+        assert table.present(0)
+        assert table.first_missing(0, 100) == -1
+
+    def test_unmap_and_map(self):
+        table = PageTable()
+        table.unmap(ADDR)
+        assert not table.present(ADDR)
+        assert table.first_missing(ADDR - 8, 32) >= ADDR - 8
+        table.map(ADDR)
+        assert table.present(ADDR)
+        assert table.paged_in
+
+    def test_unmap_spans_pages(self):
+        table = PageTable()
+        table.unmap(PAGE_SIZE - 1, length=2)
+        assert not table.present(0)
+        assert not table.present(PAGE_SIZE)
+
+
+class TestFaultOutsideTransaction:
+    def test_load_fault_raises_interruption_signal(self, harness):
+        harness.page_table.unmap(ADDR)
+        with pytest.raises(ProgramInterruptionSignal) as info:
+            harness.engine().load(ADDR, 8)
+        assert info.value.interruption.code == InterruptionCode.PAGE_TRANSLATION
+        assert info.value.interruption.translation_address == ADDR
+
+
+class TestFaultInsideTransaction:
+    def test_unfiltered_fault_aborts_with_code_4(self, harness):
+        harness.page_table.unmap(ADDR)
+        harness.tbegin(controls=TbeginControls(pifc=0))
+        with pytest.raises(TransactionAbortSignal):
+            harness.engine().load(ADDR, 8)
+        abort = harness.process_abort()
+        assert abort.code == AbortCode.PROGRAM_INTERRUPTION
+        assert abort.interrupts_to_os
+        assert abort.interruption_code == InterruptionCode.PAGE_TRANSLATION
+        assert abort.translation_address == ADDR
+
+    def test_pifc2_filters_page_fault(self, harness):
+        """Filtered: abort code 12, no interruption into the OS."""
+        harness.page_table.unmap(ADDR)
+        harness.tbegin(controls=TbeginControls(pifc=2))
+        with pytest.raises(TransactionAbortSignal):
+            harness.engine().load(ADDR, 8)
+        abort = harness.process_abort()
+        assert abort.code == AbortCode.PROGRAM_EXCEPTION_FILTERED
+        assert not abort.interrupts_to_os
+        assert abort.condition_code == 3
+
+    def test_pifc1_does_not_filter_access_exceptions(self, harness):
+        harness.page_table.unmap(ADDR)
+        harness.tbegin(controls=TbeginControls(pifc=1))
+        with pytest.raises(TransactionAbortSignal):
+            harness.engine().load(ADDR, 8)
+        assert harness.process_abort().interrupts_to_os
+
+    def test_filtered_fault_never_reaches_os_and_loops(self, harness):
+        """The paper's warning: a filtered page fault is never reported,
+        so the transaction fails every time it is executed."""
+        harness.page_table.unmap(ADDR)
+        for _ in range(3):
+            harness.tbegin(controls=TbeginControls(pifc=2))
+            with pytest.raises(TransactionAbortSignal):
+                harness.engine().load(ADDR, 8)
+            harness.process_abort()
+        assert not harness.page_table.paged_in  # the OS never saw it
+
+
+class TestTdbAccessibility:
+    def test_tbegin_tests_tdb_page(self, harness):
+        """The TDB accessibility test happens pre-transactionally."""
+        tdb = 0x8000
+        harness.page_table.unmap(tdb)
+        with pytest.raises(ProgramInterruptionSignal):
+            harness.engine().tx_begin(
+                TbeginControls(tdb_address=tdb), constrained=False, ia=0
+            )
+        assert not harness.engine().tx.active
+
+
+class TestExternalInterruption:
+    def test_external_interruption_aborts_transaction(self, harness):
+        engine = harness.engine()
+        harness.tbegin()
+        harness.store(0, ADDR, 1)
+        engine.external_interruption()
+        with pytest.raises(TransactionAbortSignal):
+            engine.raise_if_pending()
+        abort = harness.process_abort()
+        assert abort.code == AbortCode.EXTERNAL_INTERRUPTION
+        assert abort.interrupts_to_os
+        assert abort.condition_code == 2
+
+    def test_external_interruption_outside_tx_is_noop(self, harness):
+        harness.engine().external_interruption()
+        assert harness.engine().pending_abort is None
+
+
+class TestConstrainedDynamicChecks:
+    def test_octoword_limit_enforced(self, harness):
+        harness.tbegin(constrained=True)
+        for i in range(4):
+            harness.load(0, 0x100000 + i * 256)
+        with pytest.raises(TransactionAbortSignal):
+            harness.load(0, 0x100000 + 4 * 256)
+        abort = harness.process_abort()
+        assert abort.interruption_code == InterruptionCode.TRANSACTION_CONSTRAINT
+        assert abort.interrupts_to_os  # non-filterable
+
+    def test_instruction_limit_enforced(self, harness):
+        engine = harness.engine()
+        harness.tbegin(constrained=True)
+        limit = harness.params.tx.constrained_max_instructions
+        for _ in range(limit):
+            engine.note_instruction()
+        with pytest.raises(TransactionAbortSignal):
+            engine.note_instruction()
+        abort = harness.process_abort()
+        assert abort.interruption_code == InterruptionCode.TRANSACTION_CONSTRAINT
+
+    def test_same_octoword_counted_once(self, harness):
+        harness.tbegin(constrained=True)
+        for _ in range(10):
+            harness.load(0, 0x100000)  # same octoword every time
+        harness.tend()
+        assert harness.engine().stats_tx_committed == 1

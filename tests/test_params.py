@@ -1,0 +1,104 @@
+"""Configuration validation tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.params import (
+    CacheGeometry,
+    InstructionCosts,
+    L1_GEOMETRY,
+    L2_GEOMETRY,
+    Latencies,
+    MachineParams,
+    Topology,
+    TxLimits,
+    ZEC12,
+)
+
+
+def test_zec12_cache_sizes_match_paper():
+    """96KB 6-way L1 (64 rows), 1MB 8-way L2 (512 rows), 256B lines."""
+    assert L1_GEOMETRY.capacity == 96 * 1024
+    assert L1_GEOMETRY.ways == 6 and L1_GEOMETRY.rows == 64
+    assert L2_GEOMETRY.capacity == 1024 * 1024
+    assert L2_GEOMETRY.ways == 8 and L2_GEOMETRY.rows == 512
+    assert ZEC12.line_size == 256
+
+
+def test_zec12_tx_limits_match_paper():
+    assert ZEC12.tx.max_nesting_depth == 16
+    assert ZEC12.tx.store_cache_entries == 64
+    assert ZEC12.tx.store_cache_entry_bytes == 128
+    assert ZEC12.tx.constrained_max_instructions == 32
+    assert ZEC12.tx.constrained_itext_bytes == 256
+    assert ZEC12.tx.constrained_max_octowords == 4
+
+
+def test_latency_ordering_is_physical():
+    lat = ZEC12.latencies
+    assert lat.l1_hit < lat.l2_hit < lat.l3_hit
+    assert lat.l3_hit < lat.on_chip_intervention < lat.same_mcm
+    assert lat.same_mcm < lat.cross_mcm < lat.memory
+
+
+def test_latencies_must_be_positive():
+    with pytest.raises(ConfigurationError):
+        Latencies(l1_hit=0)
+
+
+def test_costs_must_be_non_negative():
+    with pytest.raises(ConfigurationError):
+        InstructionCosts(base=-1)
+
+
+def test_topology_boundaries():
+    topo = Topology(cores_per_chip=6, chips_per_mcm=4, mcms=5)
+    assert topo.cores_per_mcm == 24
+    assert topo.total_cores == 120
+    assert topo.chip_of(5) == 0 and topo.chip_of(6) == 1
+    assert topo.mcm_of(23) == 0 and topo.mcm_of(24) == 1
+
+
+def test_topology_validation():
+    with pytest.raises(ConfigurationError):
+        Topology(cores_per_chip=0)
+
+
+def test_with_cpus_keeps_boundaries():
+    """Growing the topology adds MCMs; chip/MCM boundaries stay at 6/24,
+    so the Figure 5(a) step positions are preserved."""
+    grown = ZEC12.with_cpus(ZEC12.topology.total_cores * 2)
+    assert grown.topology.cores_per_chip == ZEC12.topology.cores_per_chip
+    assert grown.topology.cores_per_mcm == ZEC12.topology.cores_per_mcm
+    assert grown.topology.total_cores >= ZEC12.topology.total_cores * 2
+
+
+def test_with_cpus_noop_when_large_enough():
+    assert ZEC12.with_cpus(2) is ZEC12
+
+
+def test_with_cpus_rejects_zero():
+    with pytest.raises(ConfigurationError):
+        ZEC12.with_cpus(0)
+
+
+def test_line_size_mismatch_rejected():
+    with pytest.raises(ConfigurationError):
+        dataclasses.replace(
+            ZEC12, l1=CacheGeometry(ways=6, rows=64, line_size=128)
+        )
+
+
+def test_tx_limits_validation():
+    with pytest.raises(ConfigurationError):
+        TxLimits(max_nesting_depth=0)
+    with pytest.raises(ConfigurationError):
+        TxLimits(xi_reject_threshold=0)
+    with pytest.raises(ConfigurationError):
+        TxLimits(store_cache_entry_bytes=4)
+
+
+def test_params_hashable_for_baseline_cache():
+    assert hash(ZEC12) == hash(MachineParams())

@@ -1,0 +1,86 @@
+"""Unit tests for Program Event Recording with the TX extensions."""
+
+from repro.core.per import PerControl, PerEventType
+
+
+def control(**ranges):
+    per = PerControl()
+    if "storage" in ranges:
+        per.watch_storage(*ranges["storage"])
+    if "ifetch" in ranges:
+        per.watch_ifetch(*ranges["ifetch"])
+    if "branch" in ranges:
+        per.watch_branch(*ranges["branch"])
+    return per
+
+
+class TestStorageAlteration:
+    def test_store_inside_range_triggers(self):
+        per = control(storage=(0x1000, 0x100))
+        event = per.check_store(0x1010, 8, in_transaction=False)
+        assert event is not None
+        assert event.event_type is PerEventType.STORAGE_ALTERATION
+
+    def test_store_overlapping_range_edge_triggers(self):
+        per = control(storage=(0x1000, 0x100))
+        assert per.check_store(0x0FF8, 16, in_transaction=False) is not None
+
+    def test_store_outside_range_silent(self):
+        per = control(storage=(0x1000, 0x100))
+        assert per.check_store(0x2000, 8, in_transaction=False) is None
+        assert per.check_store(0x0FF0, 8, in_transaction=False) is None
+
+    def test_no_range_configured(self):
+        assert PerControl().check_store(0, 8, False) is None
+
+
+class TestEventSuppression:
+    def test_suppression_hides_events_in_transaction(self):
+        per = control(storage=(0x1000, 0x100))
+        per.event_suppression = True
+        assert per.check_store(0x1010, 8, in_transaction=True) is None
+        # Outside a transaction the event still fires.
+        assert per.check_store(0x1010, 8, in_transaction=False) is not None
+
+    def test_ifetch_suppression(self):
+        per = control(ifetch=(0x1000, 0x100))
+        per.event_suppression = True
+        assert per.check_ifetch(0x1000, in_transaction=True) is None
+        assert per.check_ifetch(0x1000, in_transaction=False) is not None
+
+    def test_branch_suppression(self):
+        per = control(branch=(0x1000, 0x100))
+        per.event_suppression = True
+        assert per.check_branch(0x1000, in_transaction=True) is None
+        assert per.check_branch(0x1000, in_transaction=False) is not None
+
+
+class TestTendEvent:
+    def test_tend_event_fires_when_enabled(self):
+        per = PerControl()
+        per.tend_event = True
+        event = per.check_tend(0x2000)
+        assert event is not None
+        assert event.event_type is PerEventType.TRANSACTION_END
+        assert event.address == 0x2000
+
+    def test_tend_event_disabled_by_default(self):
+        assert PerControl().check_tend(0x2000) is None
+
+    def test_tend_event_not_subject_to_suppression(self):
+        """The TEND event exists precisely to re-check suppressed
+        watch-points at commit time."""
+        per = PerControl()
+        per.tend_event = True
+        per.event_suppression = True
+        assert per.check_tend(0x2000) is not None
+
+
+def test_clear_resets_ranges():
+    per = control(storage=(0, 100), ifetch=(0, 100), branch=(0, 100))
+    per.tend_event = True
+    per.clear()
+    assert per.check_store(0, 8, False) is None
+    assert per.check_ifetch(0, False) is None
+    assert per.check_branch(0, False) is None
+    assert per.check_tend(0) is None

@@ -1,0 +1,102 @@
+"""PER at the ISA level: watch-points interacting with transactions."""
+
+from repro.core.per import PerEventType
+from repro.cpu.assembler import assemble
+from repro.cpu.isa import (
+    AGSI,
+    AHI,
+    HALT,
+    JNZ,
+    LHI,
+    Mem,
+    NOPR,
+    STG,
+    TBEGIN,
+    TEND,
+)
+from repro.params import ZEC12
+from repro.sim.machine import Machine
+
+DATA = 0x10000
+
+
+def machine_with(items):
+    machine = Machine(ZEC12)
+    cpu = machine.add_program(assemble([*items, HALT()]))
+    return machine, cpu
+
+
+def test_store_watchpoint_outside_transaction_interrupts():
+    machine, cpu = machine_with([
+        LHI(1, 7),
+        STG(1, Mem(disp=DATA)),
+    ])
+    machine.engines[0].per.watch_storage(DATA, 256)
+    machine.run()
+    assert any(e.event_type is PerEventType.STORAGE_ALTERATION
+               for e in machine.os.per_events)
+
+
+def test_store_watchpoint_inside_transaction_aborts_without_suppression():
+    """"Without event suppression, a transaction modifying memory in the
+    monitored range always aborts"."""
+    machine, cpu = machine_with([
+        LHI(5, 0),
+        TBEGIN(),
+        JNZ("handler"),
+        AGSI(Mem(disp=DATA), 1),
+        TEND(),
+        JNZ("done"),
+        ("handler", LHI(5, 1)),
+        ("done", NOPR()),
+    ])
+    machine.engines[0].per.watch_storage(DATA, 256)
+    machine.run()
+    assert cpu.regs.get_gr(5) == 1            # abort handler ran
+    assert machine.memory.read_int(DATA, 8) == 0
+    assert cpu.aborts
+    assert cpu.aborts[0].interrupts_to_os     # PER is never filtered
+
+
+def test_suppression_lets_transaction_commit():
+    machine, cpu = machine_with([
+        TBEGIN(),
+        JNZ("out"),
+        AGSI(Mem(disp=DATA), 1),
+        TEND(),
+        ("out", NOPR()),
+    ])
+    per = machine.engines[0].per
+    per.watch_storage(DATA, 256)
+    per.event_suppression = True
+    machine.run()
+    assert machine.engines[0].stats_tx_committed == 1
+    assert not cpu.aborts
+    assert not any(e.event_type is PerEventType.STORAGE_ALTERATION
+                   for e in machine.os.per_events)
+
+
+def test_tend_event_once_per_commit():
+    machine, cpu = machine_with([
+        LHI(9, 4),
+        ("loop", TBEGIN()),
+        JNZ("skip"),
+        AGSI(Mem(disp=DATA), 1),
+        TEND(),
+        ("skip", AHI(9, -1)),
+        JNZ("loop"),
+    ])
+    machine.engines[0].per.tend_event = True
+    machine.run()
+    tend_events = [e for e in machine.os.per_events
+                   if e.event_type is PerEventType.TRANSACTION_END]
+    assert len(tend_events) == machine.engines[0].stats_tx_committed == 4
+
+
+def test_ifetch_watchpoint_fires_outside_transaction():
+    machine, cpu = machine_with([LHI(1, 1), NOPR()])
+    program_entry = cpu.program.entry
+    machine.engines[0].per.watch_ifetch(program_entry, 2)
+    machine.run()
+    # The ifetch event is a program interruption; the OS records it.
+    assert machine.os.interruptions or machine.os.per_events

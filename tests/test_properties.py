@@ -1,0 +1,146 @@
+"""Property-based tests on whole-system invariants."""
+
+import dataclasses
+
+from hypothesis import given, settings, strategies as st
+
+from conftest import EngineHarness, small_params
+
+from repro.cpu.assembler import assemble
+from repro.cpu.isa import AGSI, AHI, HALT, J, JNZ, LHI, Mem, TBEGIN, TBEGINC, TEND
+from repro.errors import TransactionAbortSignal
+from repro.params import ZEC12
+from repro.sim.machine import Machine
+
+DATA = 0x100000
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n_cpus=st.integers(min_value=1, max_value=4),
+    iterations=st.integers(min_value=1, max_value=25),
+    n_counters=st.integers(min_value=1, max_value=3),
+    constrained=st.booleans(),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_transactional_counters_exact_under_random_configs(
+    n_cpus, iterations, n_counters, constrained, seed
+):
+    """Atomicity invariant: for any CPU count, iteration count, counter
+    layout and RNG seed, transactional increments are never lost."""
+    params = dataclasses.replace(ZEC12.with_cpus(n_cpus), seed=seed)
+    begin = TBEGINC() if constrained else TBEGIN()
+    items = [LHI(9, iterations), ("loop", begin)]
+    if not constrained:
+        items.append(JNZ("retry"))
+    for c in range(n_counters):
+        items.append(AGSI(Mem(disp=DATA + c * 256), 1))
+    items += [TEND(), AHI(9, -1), JNZ("loop"), J("done")]
+    if not constrained:
+        items.append(("retry", J("loop")))
+    items.append(("done", HALT()))
+    program = assemble(items)
+
+    machine = Machine(params)
+    for _ in range(n_cpus):
+        machine.add_program(program)
+    machine.run()
+    for c in range(n_counters):
+        assert machine.memory.read_int(DATA + c * 256, 8) == n_cpus * iterations
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["load", "store", "add", "ntstg"]),
+            st.integers(min_value=0, max_value=7),    # which line
+            st.integers(min_value=0, max_value=200),  # value
+        ),
+        min_size=1,
+        max_size=20,
+    ),
+    abort=st.booleans(),
+)
+def test_abort_restores_exactly_pre_tx_image_except_ntstg(ops, abort):
+    """For any operation sequence inside a transaction: on abort, memory
+    equals the pre-transaction image except for NTSTG doublewords; on
+    commit, it equals the reference interpretation."""
+    harness = EngineHarness(n_cpus=1)
+    # Pre-transaction image.
+    for line in range(8):
+        harness.store(0, DATA + line * 256, 1000 + line)
+    harness.quiesce()
+    before = {line: harness.memory.read_int(DATA + line * 256, 8)
+              for line in range(8)}
+
+    reference = dict(before)
+    ntstg_written = {}
+    harness.tbegin()
+    for op, line, value in ops:
+        # "The architecture requires that the memory locations stored to
+        # by NTSTG do not overlap with other stores from the transaction"
+        # (overlap is undefined), so NTSTG gets its own line range.
+        line = (line % 4) + 4 if op == "ntstg" else line % 4
+        addr = DATA + line * 256
+        if op == "load":
+            assert harness.load(0, addr) == reference[line]
+        elif op == "store":
+            harness.store(0, addr, value)
+            reference[line] = value
+        elif op == "add":
+            reference[line] = (reference[line] + value) & ((1 << 64) - 1)
+            assert harness.add(0, addr, value) == reference[line]
+        else:  # ntstg
+            harness.ntstg(0, addr, value)
+            reference[line] = value
+            ntstg_written[line] = value
+
+    if abort:
+        try:
+            harness.engine().tx_abort(256)
+        except TransactionAbortSignal:
+            harness.process_abort()
+        harness.quiesce()
+        for line in range(8):
+            expected = ntstg_written.get(line, before[line])
+            assert harness.memory.read_int(DATA + line * 256, 8) == expected
+    else:
+        harness.tend()
+        harness.quiesce()
+        for line in range(8):
+            assert harness.memory.read_int(DATA + line * 256, 8) == reference[line]
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    depth=st.integers(min_value=1, max_value=16),
+    fail_at=st.integers(min_value=0, max_value=16),
+)
+def test_nesting_depth_tracking_property(depth, fail_at):
+    """ETND always equals the number of unmatched TBEGINs."""
+    harness = EngineHarness(n_cpus=1)
+    engine = harness.engine()
+    for level in range(depth):
+        harness.tbegin()
+        assert engine.nesting_depth()[1] == level + 1
+    for level in range(depth, 0, -1):
+        harness.tend()
+        assert engine.nesting_depth()[1] == level - 1
+    assert not engine.tx.active
+
+
+@settings(max_examples=10, deadline=None)
+@given(lines=st.lists(st.integers(min_value=0, max_value=500), min_size=1,
+                      max_size=60, unique=True))
+def test_read_set_tracks_exactly_the_loaded_lines(lines):
+    """The precise read set equals the set of loaded line addresses
+    (speculation disabled)."""
+    harness = EngineHarness(n_cpus=1)
+    harness.tbegin()
+    expected = set()
+    for index in lines:
+        addr = DATA + index * 256
+        harness.load(0, addr)
+        expected.add(addr)
+    assert harness.engine().tx.read_set == expected

@@ -1,0 +1,97 @@
+"""Unit tests for the register file and GRSM save/restore."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cpu.registers import MASK64, Psw, RegisterFile
+from repro.errors import MachineStateError
+
+
+def test_initial_state_zero():
+    regs = RegisterFile()
+    assert regs.gr == [0] * 16
+    assert regs.psw.instruction_address == 0
+    assert regs.psw.condition_code == 0
+
+
+def test_set_get_masks_to_64_bits():
+    regs = RegisterFile()
+    regs.set_gr(3, 1 << 70)
+    assert regs.get_gr(3) == (1 << 70) & MASK64
+
+
+def test_signed_view():
+    regs = RegisterFile()
+    regs.set_gr(1, -5)
+    assert regs.get_gr(1) == MASK64 - 4
+    assert regs.get_gr_signed(1) == -5
+    regs.set_gr(2, 5)
+    assert regs.get_gr_signed(2) == 5
+
+
+def test_index_bounds_checked():
+    regs = RegisterFile()
+    with pytest.raises(MachineStateError):
+        regs.get_gr(16)
+    with pytest.raises(MachineStateError):
+        regs.set_gr(-1, 0)
+
+
+def test_save_pairs_bit0_is_most_significant():
+    """Bit i of the GRSM (bit 0 = MSB) covers the pair (2i, 2i+1),
+    matching the instruction-field convention."""
+    regs = RegisterFile()
+    for i in range(16):
+        regs.set_gr(i, 100 + i)
+    backup = regs.save_pairs(0x80)  # bit 0 only -> pair (0, 1)
+    assert backup == {0: (100, 101)}
+    backup = regs.save_pairs(0x01)  # bit 7 only -> pair (14, 15)
+    assert backup == {7: (114, 115)}
+
+
+def test_restore_pairs_leaves_unsaved_registers_alone():
+    regs = RegisterFile()
+    for i in range(16):
+        regs.set_gr(i, i)
+    backup = regs.save_pairs(0xC0)  # pairs (0,1) and (2,3)
+    for i in range(16):
+        regs.set_gr(i, 99)
+    regs.restore_pairs(backup)
+    assert regs.gr[:4] == [0, 1, 2, 3]
+    assert regs.gr[4:] == [99] * 12
+
+
+def test_psw_copy_is_independent():
+    psw = Psw(instruction_address=0x100, condition_code=2)
+    copy = psw.copy()
+    psw.instruction_address = 0x200
+    assert copy.instruction_address == 0x100
+
+
+def test_snapshot_is_a_copy():
+    regs = RegisterFile()
+    snap = regs.snapshot_gr()
+    regs.set_gr(0, 7)
+    assert snap[0] == 0
+
+
+@given(grsm=st.integers(min_value=0, max_value=0xFF),
+       values=st.lists(st.integers(min_value=0, max_value=MASK64),
+                       min_size=16, max_size=16),
+       clobber=st.lists(st.integers(min_value=0, max_value=MASK64),
+                        min_size=16, max_size=16))
+def test_save_restore_roundtrip_property(grsm, values, clobber):
+    """For any mask: after save/clobber/restore, registers in saved pairs
+    hold their pre-save values; all others hold the clobbered values."""
+    regs = RegisterFile()
+    for i, v in enumerate(values):
+        regs.set_gr(i, v)
+    backup = regs.save_pairs(grsm)
+    for i, v in enumerate(clobber):
+        regs.set_gr(i, v)
+    regs.restore_pairs(backup)
+    for pair in range(8):
+        saved = bool(grsm & (0x80 >> pair))
+        for reg in (2 * pair, 2 * pair + 1):
+            expected = values[reg] if saved else clobber[reg]
+            assert regs.get_gr(reg) == expected

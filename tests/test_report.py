@@ -1,0 +1,76 @@
+"""Tests for the ASCII figure renderer."""
+
+import pytest
+
+from repro.bench.figures import SweepPoint
+from repro.bench.report import (
+    render_chart,
+    render_table,
+    series_from_points,
+    speedup_summary,
+)
+from repro.errors import ConfigurationError
+
+
+POINTS = [
+    SweepPoint("lock", 2, 10.0, 0.0),
+    SweepPoint("lock", 8, 12.0, 0.0),
+    SweepPoint("tx", 2, 11.0, 0.0),
+    SweepPoint("tx", 8, 44.0, 0.1),
+]
+
+
+def test_series_from_points():
+    series = series_from_points(POINTS)
+    assert series == {"lock": {2: 10.0, 8: 12.0}, "tx": {2: 11.0, 8: 44.0}}
+
+
+def test_render_table_contains_all_values():
+    table = render_table(series_from_points(POINTS))
+    assert "lock" in table and "tx" in table
+    assert "44.0" in table and "10.0" in table
+    assert table.splitlines()[1].startswith(f"{2:>6}")
+
+
+def test_render_table_handles_missing_points():
+    series = {"a": {2: 1.0, 8: 2.0}, "b": {2: 3.0}}
+    table = render_table(series)
+    assert len(table.splitlines()) == 3  # header + two CPU rows
+
+
+def test_render_chart_shape_and_legend():
+    chart = render_chart(series_from_points(POINTS), width=32, height=8,
+                         title="demo")
+    lines = chart.splitlines()
+    assert lines[0] == "demo"
+    assert len([l for l in lines if l.startswith("|")]) == 8
+    assert "o=lock" in lines[-1] and "x=tx" in lines[-1]
+    # The higher tx point must sit above the lock point: find rows.
+    body = [l for l in lines if l.startswith("|")]
+    first_x = min(i for i, l in enumerate(body) if "x" in l)
+    last_o = max(i for i, l in enumerate(body) if "o" in l)
+    assert first_x <= last_o
+
+
+def test_render_chart_rejects_empty():
+    with pytest.raises(ConfigurationError):
+        render_chart({})
+
+
+def test_speedup_summary():
+    series = series_from_points(POINTS)
+    speedups = dict(
+        ((name, n), s) for name, n, s in speedup_summary(series, "lock")
+    )
+    assert speedups[("tx", 2)] == pytest.approx(1.1)
+    assert speedups[("tx", 8)] == pytest.approx(44.0 / 12.0)
+
+
+def test_speedup_summary_unknown_baseline():
+    with pytest.raises(ConfigurationError):
+        speedup_summary(series_from_points(POINTS), "nope")
+
+
+def test_chart_with_single_point_degenerate_ranges():
+    chart = render_chart({"one": {4: 5.0}})
+    assert "o=one" in chart

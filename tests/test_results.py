@@ -1,0 +1,67 @@
+"""Tests for throughput computation and normalisation."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.results import CpuResult, SimResult
+
+
+def make_result(intervals_per_cpu):
+    cpus = [
+        CpuResult(cpu_id=i, intervals=list(intervals))
+        for i, intervals in enumerate(intervals_per_cpu)
+    ]
+    return SimResult(cycles=1000, cpus=cpus)
+
+
+def test_throughput_is_cpus_over_mean_interval():
+    """"the quotient of the number of CPUs divided by the average time
+    per update"."""
+    result = make_result([[100, 100], [100, 100]])
+    assert result.throughput == pytest.approx(2 / 100)
+
+
+def test_mean_pools_all_cpus():
+    result = make_result([[50], [150]])
+    assert result.mean_update_cycles == 100
+
+
+def test_normalisation_maps_baseline_to_100():
+    baseline = make_result([[100], [100]])
+    result = make_result([[100], [100]])
+    assert result.normalized_throughput(baseline.throughput) == pytest.approx(100)
+
+
+def test_normalisation_scales_linearly():
+    baseline = make_result([[100], [100]])          # thr = 0.02
+    faster = make_result([[50], [50]])              # thr = 0.04
+    assert faster.normalized_throughput(baseline.throughput) == pytest.approx(200)
+
+
+def test_no_intervals_raises():
+    result = make_result([[]])
+    with pytest.raises(SimulationError):
+        _ = result.throughput
+
+
+def test_bad_baseline_rejected():
+    result = make_result([[100]])
+    with pytest.raises(SimulationError):
+        result.normalized_throughput(0)
+
+
+def test_abort_rate_aggregation():
+    cpus = [
+        CpuResult(cpu_id=0, tx_committed=8, tx_aborted=2),
+        CpuResult(cpu_id=1, tx_committed=6, tx_aborted=4),
+    ]
+    result = SimResult(cycles=1, cpus=cpus)
+    assert result.total_committed == 14
+    assert result.total_aborted == 6
+    assert result.abort_rate == pytest.approx(6 / 20)
+    assert cpus[0].abort_rate == pytest.approx(0.2)
+
+
+def test_abort_rate_zero_when_no_transactions():
+    result = SimResult(cycles=1, cpus=[CpuResult(cpu_id=0)])
+    assert result.abort_rate == 0.0

@@ -1,0 +1,175 @@
+"""Scheduler and machine-level tests."""
+
+import pytest
+
+from repro.core.engine import FetchRetry
+from repro.cpu.assembler import assemble
+from repro.cpu.isa import AGSI, AHI, HALT, JNZ, LHI, Mem
+from repro.errors import ConfigurationError
+from repro.params import ZEC12
+from repro.sim.machine import Machine, MarkRecorder
+from repro.sim.scheduler import Scheduler
+
+
+class FakeDriver:
+    """Deterministic driver for scheduler unit tests."""
+
+    def __init__(self, latencies, engine=None):
+        self.latencies = list(latencies)
+        self.steps = []
+        self.done = not self.latencies
+        self.engine = engine if engine is not None else FakeEngine()
+
+    def step(self):
+        self.steps.append(True)
+        latency = self.latencies.pop(0)
+        if not self.latencies:
+            self.done = True
+        if isinstance(latency, Exception):
+            raise latency
+        return latency
+
+
+class FakeEngine:
+    solo_requested = False
+    stopped_by_broadcast = False
+
+
+class TestScheduler:
+    def test_runs_all_drivers_to_completion(self):
+        drivers = [FakeDriver([1, 1, 1]), FakeDriver([5])]
+        scheduler = Scheduler(drivers)
+        final = scheduler.run()
+        assert all(d.done for d in drivers)
+        assert final >= 5
+
+    def test_smallest_local_time_first(self):
+        slow = FakeDriver([100, 1])
+        fast = FakeDriver([1, 1, 1])
+        scheduler = Scheduler([slow, fast])
+        scheduler.run()
+        # fast finished its three steps before slow's second step; just
+        # assert completion and monotonic time.
+        assert scheduler.now >= 101
+
+    def test_fetch_retry_reschedules_same_driver(self):
+        driver = FakeDriver([FetchRetry(10), 1])
+        scheduler = Scheduler([driver])
+        scheduler.run()
+        assert len(driver.steps) == 2
+        assert scheduler.now >= 10
+
+    def test_max_cycles_stops_early(self):
+        driver = FakeDriver([50] * 100)
+        scheduler = Scheduler([driver])
+        final = scheduler.run(max_cycles=200)
+        assert final <= 200
+        assert not driver.done
+
+    def test_solo_defers_other_cpus(self):
+        a = FakeDriver([1, 1, 1, 1])
+        b = FakeDriver([1, 1])
+        a.engine.solo_requested = True
+        order = []
+        a_step, b_step = a.step, b.step
+
+        def wrap(driver, name, orig):
+            def stepper():
+                order.append(name)
+                if name == "a" and len([x for x in order if x == "a"]) == 2:
+                    driver.engine.solo_requested = False
+                return orig()
+            return stepper
+
+        a.step = wrap(a, "a", a_step)
+        b.step = wrap(b, "b", b_step)
+        Scheduler([a, b]).run()
+        # b never runs before a's second step (solo released there).
+        assert order[:2] == ["a", "a"]
+        assert a.done and b.done
+
+    def test_broadcast_stop_flag_applied(self):
+        a = FakeDriver([1, 1])
+        b = FakeDriver([1])
+        a.engine.solo_requested = True
+        scheduler = Scheduler([a, b])
+        scheduler.run()
+        # After the run nobody is stopped any more.
+        assert not b.engine.stopped_by_broadcast
+
+
+class TestMachine:
+    def test_run_without_cpus_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Machine(ZEC12).run()
+
+    def test_too_many_cpus_rejected(self):
+        machine = Machine(ZEC12)
+        program = assemble([HALT()])
+        with pytest.raises(ConfigurationError):
+            for _ in range(ZEC12.topology.total_cores + 1):
+                machine.add_program(program)
+
+    def test_with_cpus_grows_topology(self):
+        grown = ZEC12.with_cpus(ZEC12.topology.total_cores + 30)
+        assert grown.topology.total_cores >= ZEC12.topology.total_cores + 30
+
+    def test_results_collect_intervals_and_stats(self):
+        from repro.cpu.isa import MARK_END, MARK_START, TBEGIN, TEND, JNZ
+
+        program = assemble([
+            MARK_START(),
+            TBEGIN(),
+            JNZ("out"),
+            AGSI(Mem(disp=0x1000), 1),
+            TEND(),
+            ("out", MARK_END()),
+            HALT(),
+        ])
+        machine = Machine(ZEC12)
+        machine.add_program(program)
+        result = machine.run()
+        assert result.cpus[0].updates == 1
+        assert result.cpus[0].intervals[0] > 0
+        assert result.cpus[0].tx_committed == 1
+        assert result.cpus[0].instructions > 0
+
+    def test_external_interrupts_abort_transactions(self):
+        program = assemble([
+            LHI(9, 50),
+            ("loop", AGSI(Mem(disp=0x1000), 1)),
+            AHI(9, -1),
+            JNZ("loop"),
+            HALT(),
+        ])
+        machine = Machine(ZEC12, external_interrupt_interval=500)
+        machine.add_program(program)
+        machine.run()  # interrupts outside transactions are no-ops
+        assert machine.memory.read_int(0x1000, 8) == 50
+
+    def test_aborted_early_flag(self):
+        program = assemble([
+            LHI(9, 10000),
+            ("loop", AHI(9, -1)),
+            JNZ("loop"),
+            HALT(),
+        ])
+        machine = Machine(ZEC12)
+        machine.add_program(program)
+        result = machine.run(max_cycles=50)
+        assert result.aborted_early
+
+
+class TestMarkRecorder:
+    def test_intervals(self):
+        clock = [0]
+        recorder = MarkRecorder(lambda: clock[0])
+        recorder("start")
+        clock[0] = 40
+        recorder("end")
+        assert recorder.intervals == [40]
+
+    def test_end_without_start_ignored(self):
+        recorder = MarkRecorder(lambda: 0)
+        recorder("end")
+        assert recorder.intervals == []

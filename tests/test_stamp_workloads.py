@@ -1,0 +1,118 @@
+"""Tests for the STAMP-like kernels (vacation, kmeans)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mem.address import LINE_SIZE
+from repro.workloads.stamp import (
+    KMEANS_BASE,
+    KmeansAccumulators,
+    KmeansExperiment,
+    VACATION_BASE,
+    VacationDatabase,
+    VacationExperiment,
+    run_kmeans,
+    run_vacation,
+)
+
+
+class TestVacation:
+    @pytest.mark.parametrize("use_tx", [True, False])
+    def test_reservations_are_atomic_and_counted(self, use_tx):
+        experiment = VacationExperiment(n_threads=3, use_tx=use_tx,
+                                        sessions=10, rows_per_table=8)
+        result = run_vacation(experiment)
+        assert result.total_updates == 30
+
+    @pytest.mark.parametrize("use_tx", [True, False])
+    def test_total_reservations_conserved(self, use_tx):
+        """Reserved counts are a multiple of 3 in total (each successful
+        session reserves exactly one unit in each of the 3 tables,
+        all-or-nothing), and with unlimited capacity every session
+        succeeds."""
+        from repro.htm.api import Ctx, HtmMachine
+        from repro.params import ZEC12
+
+        n_threads, sessions, rows = 4, 10, 4
+        machine = HtmMachine(ZEC12.with_cpus(n_threads))
+        database = VacationDatabase(VACATION_BASE, rows, capacity=1 << 30)
+
+        def make_worker(tid):
+            def worker(ctx: Ctx):
+                if tid == 0:
+                    yield from database.seed(ctx)
+                    yield from ctx.store(database.lock_addr + 8, 1)
+                else:
+                    while (yield from ctx.load(database.lock_addr + 8)) == 0:
+                        yield from ctx.delay(100)
+                for _ in range(sessions):
+                    chosen = []
+                    for _t in range(3):
+                        chosen.append((yield from ctx.rand(rows)))
+                    yield from database.reserve_session(ctx, chosen, use_tx)
+            return worker
+
+        for tid in range(n_threads):
+            machine.spawn(make_worker(tid))
+        machine.run()
+        for engine in machine.engines:
+            engine.quiesce()
+
+        total_reserved = sum(
+            machine.memory.read_int(database.row_addr(t, r) + 8, 8)
+            for t in range(3)
+            for r in range(rows)
+        )
+        assert total_reserved == n_threads * sessions * 3
+        per_table = [
+            sum(machine.memory.read_int(database.row_addr(t, r) + 8, 8)
+                for r in range(rows))
+            for t in range(3)
+        ]
+        assert all(count == n_threads * sessions for count in per_table)
+
+    def test_capacity_limit_rejects_oversubscription(self):
+        """With capacity 1 on every row and many sessions targeting a
+        tiny table, most sessions fail but none oversubscribe."""
+        experiment = VacationExperiment(n_threads=2, use_tx=True,
+                                        sessions=8, rows_per_table=2,
+                                        capacity=1)
+        result = run_vacation(experiment)
+        assert result.total_updates == 16  # all sessions measured
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            VacationExperiment(n_threads=0, use_tx=True)
+
+    def test_row_addresses_are_line_disjoint(self):
+        db = VacationDatabase(VACATION_BASE, rows=16, capacity=10)
+        addresses = {
+            db.row_addr(t, r) for t in range(3) for r in range(16)
+        }
+        assert len(addresses) == 48
+        assert all(addr % LINE_SIZE == 0 for addr in addresses)
+
+
+class TestKmeans:
+    @pytest.mark.parametrize("use_tx", [True, False])
+    def test_counts_conserved(self, use_tx):
+        experiment = KmeansExperiment(n_threads=3, use_tx=use_tx,
+                                      points_per_thread=10, clusters=4)
+        result = run_kmeans(experiment)
+        assert result.total_updates == 30
+
+    def test_cluster_lines_disjoint(self):
+        acc = KmeansAccumulators(KMEANS_BASE, clusters=8)
+        addresses = {acc.cluster_addr(c) for c in range(8)}
+        assert len(addresses) == 8
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            KmeansExperiment(n_threads=1, use_tx=True, clusters=0)
+
+    def test_tx_beats_lock_at_scale(self):
+        lock = run_kmeans(KmeansExperiment(6, use_tx=False,
+                                           points_per_thread=15))
+        tx = run_kmeans(KmeansExperiment(6, use_tx=True,
+                                         points_per_thread=15))
+        assert tx.throughput > lock.throughput

@@ -1,0 +1,53 @@
+"""Unit tests for the store queue."""
+
+from repro.mem.storequeue import StoreQueue
+
+
+def test_push_and_forward():
+    stq = StoreQueue()
+    stq.push(100, b"\x01\x02")
+    assert stq.forward_byte(100) == 1
+    assert stq.forward_byte(101) == 2
+    assert stq.forward_byte(102) is None
+
+
+def test_forwarding_returns_youngest_value():
+    stq = StoreQueue()
+    stq.push(100, b"\x01")
+    stq.push(100, b"\x02")
+    assert stq.forward_byte(100) == 2
+
+
+def test_drain_is_fifo_and_empties():
+    stq = StoreQueue()
+    stq.push(0, b"a")
+    stq.push(8, b"b")
+    drained = stq.drain()
+    assert [e.addr for e in drained] == [0, 8]
+    assert len(stq) == 0
+
+
+def test_clear_tx_marks():
+    stq = StoreQueue()
+    stq.push(0, b"a", tx=True)
+    stq.push(8, b"b", tx=True)
+    stq.clear_tx_marks()
+    assert all(not e.tx for e in stq)
+
+
+def test_invalidate_tx_drops_only_tx_entries():
+    stq = StoreQueue()
+    stq.push(0, b"a", tx=True)
+    stq.push(8, b"b", tx=False)
+    stq.push(16, b"c", tx=True, ntstg=True)
+    dropped = stq.invalidate_tx()
+    assert [e.addr for e in dropped] == [0]
+    remaining = [e.addr for e in stq]
+    assert remaining == [8, 16]  # non-tx and NTSTG entries survive
+
+
+def test_lines_pending():
+    stq = StoreQueue()
+    stq.push(10, b"x" * 4)
+    stq.push(250, b"y" * 10)  # crosses into the next line
+    assert stq.lines_pending() == {0, 256}

@@ -1,0 +1,145 @@
+"""Tests for the ISA-level lock and transaction harnesses (Figures 1/3)."""
+
+from repro.cpu.assembler import assemble
+from repro.cpu.isa import AGSI, AHI, HALT, JNZ, LHI, Mem, NOPR, STG
+
+
+def counted_loop(body, iterations, counter=9):
+    """Wrap fragment ``body`` in a counted loop (labels stay unique)."""
+    return [
+        LHI(counter, iterations),
+        "outer_loop",
+        *body,
+        AHI(counter, -1),
+        JNZ("outer_loop"),
+    ]
+from repro.params import ZEC12
+from repro.sim.machine import Machine
+from repro.sync.retry import (
+    LOCK_BUSY_ABORT_CODE,
+    constrained_transaction,
+    transaction_with_fallback,
+)
+from repro.sync.rwlock import (
+    WRITER_BIT,
+    reader_enter,
+    reader_exit,
+    writer_acquire,
+    writer_release,
+)
+from repro.sync.spinlock import acquire_lock, release_lock
+
+LOCK = Mem(disp=0x8000)
+DATA = 0x10000
+
+
+def run(items, n_cpus=1, setup=None):
+    machine = Machine(ZEC12)
+    if setup:
+        setup(machine)
+    program = assemble([*items, HALT()])
+    cpus = [machine.add_program(program) for _ in range(n_cpus)]
+    result = machine.run()
+    return machine, cpus, result
+
+
+class TestSpinlock:
+    def test_acquire_sets_release_clears(self):
+        machine, _, _ = run([
+            *acquire_lock(LOCK, "t"),
+            *release_lock(LOCK),
+        ])
+        machine.engines[0].quiesce()
+        assert machine.memory.read_int(LOCK.disp, 8) == 0
+
+    def test_mutual_exclusion_under_contention(self):
+        body = [
+            *acquire_lock(LOCK, "t"),
+            AGSI(Mem(disp=DATA), 1),
+            *release_lock(LOCK),
+        ]
+        machine, _, _ = run(counted_loop(body, 20), n_cpus=4)
+        assert machine.memory.read_int(DATA, 8) == 80
+
+
+class TestFigure1Harness:
+    def test_transactional_path_commits(self):
+        machine, cpus, result = run(
+            transaction_with_fallback([AGSI(Mem(disp=DATA), 1)], LOCK, "h")
+        )
+        assert machine.memory.read_int(DATA, 8) == 1
+        assert result.cpus[0].tx_committed == 1
+
+    def test_busy_lock_taborts_and_falls_back(self):
+        """With the lock held by someone else forever, the transaction
+        TABORTs (lock busy), retries, and the abort handler waits on the
+        lock — a second CPU releasing it lets the fallback/retry finish."""
+        def hold_lock(machine):
+            machine.memory.write_int(LOCK.disp, 0, 8)
+
+        release_after = [
+            LHI(1, 1),
+            STG(1, LOCK),          # take the lock non-transactionally
+            LHI(9, 40),
+            ("spin", NOPR()),
+            *[NOPR()] * 3,
+            LHI(1, 0),
+            STG(1, LOCK),          # release
+            *transaction_with_fallback([AGSI(Mem(disp=DATA), 1)], LOCK, "h"),
+        ]
+        machine, cpus, _ = run(release_after)
+        assert machine.memory.read_int(DATA, 8) == 1
+
+    def test_concurrent_updates_are_atomic(self):
+        body = transaction_with_fallback([AGSI(Mem(disp=DATA), 1)], LOCK, "h")
+        machine, cpus, result = run(counted_loop(body, 15), n_cpus=4)
+        assert machine.memory.read_int(DATA, 8) == 60
+
+    def test_lock_busy_abort_code_is_transient(self):
+        assert LOCK_BUSY_ABORT_CODE % 2 == 0
+
+
+class TestFigure3Harness:
+    def test_constrained_commits(self):
+        machine, _, result = run(
+            constrained_transaction([AGSI(Mem(disp=DATA), 1)])
+        )
+        assert machine.memory.read_int(DATA, 8) == 1
+        assert result.cpus[0].tx_committed == 1
+
+    def test_constrained_concurrent_atomicity(self):
+        body = constrained_transaction([AGSI(Mem(disp=DATA), 1)])
+        machine, _, _ = run(counted_loop(body, 15), n_cpus=4)
+        assert machine.memory.read_int(DATA, 8) == 60
+
+
+class TestRwLock:
+    def test_reader_count_balanced(self):
+        machine, _, _ = run([
+            *reader_enter(LOCK, "r"),
+            NOPR(),
+            *reader_exit(LOCK, "r"),
+        ])
+        machine.engines[0].quiesce()
+        assert machine.memory.read_int(LOCK.disp, 8) == 0
+
+    def test_concurrent_readers_balance(self):
+        body = [
+            *reader_enter(LOCK, "r"),
+            *reader_exit(LOCK, "r"),
+        ]
+        machine, _, _ = run(counted_loop(body, 10), n_cpus=4)
+        assert machine.memory.read_int(LOCK.disp, 8) == 0
+
+    def test_writer_excludes_writers(self):
+        body = [
+            *writer_acquire(LOCK, "w"),
+            AGSI(Mem(disp=DATA), 1),
+            *writer_release(LOCK),
+        ]
+        machine, _, _ = run(counted_loop(body, 10), n_cpus=4)
+        assert machine.memory.read_int(DATA, 8) == 40
+        assert machine.memory.read_int(LOCK.disp, 8) == 0
+
+    def test_writer_bit_above_reader_counts(self):
+        assert WRITER_BIT > 1 << 20

@@ -1,0 +1,93 @@
+"""Unit tests for the Transaction Diagnostic Block."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.abort import TransactionAbort
+from repro.core.tdb import (
+    TDB_SIZE,
+    prefix_tdb_address,
+    read_tdb,
+    store_tdb,
+)
+from repro.errors import MachineStateError
+from repro.mem.memory import MainMemory
+
+
+def make_abort(**kwargs):
+    defaults = dict(code=9, conflict_token=0x4200, aborted_ia=0x1010,
+                    interruption_code=None, translation_address=None)
+    defaults.update(kwargs)
+    return TransactionAbort(**defaults)
+
+
+def test_roundtrip():
+    memory = MainMemory()
+    grs = list(range(16))
+    store_tdb(memory, 0x8000, make_abort(), nesting_depth=2,
+              general_registers=grs)
+    view = read_tdb(memory, 0x8000)
+    assert view.valid
+    assert view.abort_code == 9
+    assert view.conflict_token == 0x4200
+    assert view.conflict_token_valid
+    assert view.nesting_depth == 2
+    assert view.aborted_ia == 0x1010
+    assert view.general_registers == tuple(range(16))
+
+
+def test_missing_conflict_token_marked_invalid():
+    memory = MainMemory()
+    store_tdb(memory, 0x8000, make_abort(conflict_token=None), 1)
+    view = read_tdb(memory, 0x8000)
+    assert not view.conflict_token_valid
+    assert view.conflict_token == 0
+
+
+def test_interruption_fields():
+    memory = MainMemory()
+    store_tdb(memory, 0x8000,
+              make_abort(code=4, interruption_code=0x11,
+                         translation_address=0x123000),
+              1)
+    view = read_tdb(memory, 0x8000)
+    assert view.interruption_code == 0x11
+    assert view.translation_address == 0x123000
+
+
+def test_alignment_enforced():
+    with pytest.raises(MachineStateError):
+        store_tdb(MainMemory(), 0x8001, make_abort(), 1)
+
+
+def test_register_count_enforced():
+    with pytest.raises(MachineStateError):
+        store_tdb(MainMemory(), 0x8000, make_abort(), 1,
+                  general_registers=[1, 2, 3])
+
+
+def test_tdb_is_exactly_256_bytes():
+    memory = MainMemory()
+    memory.write_int(0x8000 + TDB_SIZE, 0xFF, 1)  # sentinel after the TDB
+    store_tdb(memory, 0x8000, make_abort(), 1)
+    assert memory.read_int(0x8000 + TDB_SIZE, 1) == 0xFF
+
+
+def test_prefix_addresses_distinct_per_cpu():
+    addresses = {prefix_tdb_address(cpu) for cpu in range(144)}
+    assert len(addresses) == 144
+    for addr in addresses:
+        assert addr % 8 == 0
+
+
+@given(code=st.integers(min_value=2, max_value=1 << 40),
+       depth=st.integers(min_value=0, max_value=16),
+       grs=st.lists(st.integers(min_value=0, max_value=(1 << 64) - 1),
+                    min_size=16, max_size=16))
+def test_roundtrip_property(code, depth, grs):
+    memory = MainMemory()
+    store_tdb(memory, 0x8000, make_abort(code=code), depth, grs)
+    view = read_tdb(memory, 0x8000)
+    assert view.abort_code == code
+    assert view.nesting_depth == depth
+    assert view.general_registers == tuple(grs)

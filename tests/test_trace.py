@@ -1,0 +1,116 @@
+"""Tests for the event tracer."""
+
+import pytest
+
+from repro.cpu.assembler import assemble
+from repro.cpu.isa import (
+    AGSI,
+    AHI,
+    HALT,
+    J,
+    JNZ,
+    LHI,
+    Mem,
+    TABORT,
+    TBEGIN,
+    TEND,
+)
+from repro.params import ZEC12
+from repro.sim.machine import Machine
+from repro.sim.trace import ALL_KINDS, Tracer
+
+DATA = 0x10000
+
+
+def committing_machine(n_cpus=1, iterations=3):
+    program = assemble([
+        LHI(9, iterations),
+        ("loop", TBEGIN()),
+        JNZ("retry"),
+        AGSI(Mem(disp=DATA), 1),
+        TEND(),
+        AHI(9, -1),
+        JNZ("loop"),
+        J("done"),
+        ("retry", J("loop")),
+        ("done", HALT()),
+    ])
+    machine = Machine(ZEC12.with_cpus(n_cpus))
+    for _ in range(n_cpus):
+        machine.add_program(program)
+    return machine
+
+
+def test_commit_events_recorded():
+    machine = committing_machine()
+    tracer = Tracer(machine)
+    machine.run()
+    assert len(tracer.of_kind("tbegin")) == 3
+    assert len(tracer.of_kind("commit")) == 3
+    assert not tracer.of_kind("abort")
+
+
+def test_abort_events_with_codes():
+    program = assemble([
+        TBEGIN(),
+        JNZ("out"),
+        TABORT(258),
+        TEND(),
+        ("out", HALT()),
+    ])
+    machine = Machine(ZEC12)
+    machine.add_program(program)
+    tracer = Tracer(machine)
+    machine.run()
+    aborts = tracer.of_kind("abort")
+    assert len(aborts) == 1
+    assert "TABORT(258)" in aborts[0].detail
+    assert tracer.aborts_by_code()["TABORT(258)"] == 1
+
+
+def test_xi_and_fetch_events_under_contention():
+    machine = committing_machine(n_cpus=2, iterations=5)
+    tracer = Tracer(machine, kinds={"xi", "fetch"})
+    machine.run()
+    assert tracer.of_kind("fetch")      # misses happened
+    assert tracer.of_kind("xi")         # the counter line bounced
+    # Kind filtering worked: nothing else recorded.
+    assert not tracer.of_kind("commit")
+
+
+def test_kind_filtering_validated():
+    machine = committing_machine()
+    with pytest.raises(ValueError):
+        Tracer(machine, kinds={"bogus"})
+
+
+def test_event_limit_drops_excess():
+    machine = committing_machine(iterations=10)
+    tracer = Tracer(machine, limit=2)
+    machine.run()
+    assert len(tracer.events) == 2
+    assert tracer.dropped > 0
+    assert "dropped" in tracer.summary()
+
+
+def test_events_are_time_ordered_and_printable():
+    machine = committing_machine(n_cpus=2, iterations=4)
+    tracer = Tracer(machine)
+    machine.run()
+    times = [e.time for e in tracer.events]
+    assert times == sorted(times)
+    assert all(str(e) for e in tracer.events)
+    summary = tracer.summary()
+    for kind in sorted(ALL_KINDS):
+        assert kind in summary
+
+
+def test_tracing_does_not_change_results():
+    plain = committing_machine(n_cpus=2, iterations=5)
+    plain_result = plain.run()
+    traced = committing_machine(n_cpus=2, iterations=5)
+    Tracer(traced)
+    traced_result = traced.run()
+    assert plain.memory.read_int(DATA, 8) == traced.memory.read_int(DATA, 8)
+    assert plain_result.total_committed == traced_result.total_committed
+    assert plain_result.cycles == traced_result.cycles

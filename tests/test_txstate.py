@@ -1,0 +1,83 @@
+"""Unit tests for the transactional state machine."""
+
+import pytest
+
+from repro.core.txstate import (
+    CONSTRAINED_CONTROLS,
+    TbeginControls,
+    TransactionState,
+)
+from repro.errors import MachineStateError
+
+
+def test_controls_validation():
+    with pytest.raises(MachineStateError):
+        TbeginControls(grsm=0x1FF)
+    with pytest.raises(MachineStateError):
+        TbeginControls(pifc=3)
+
+
+def test_constrained_controls_are_all_zero():
+    assert CONSTRAINED_CONTROLS.grsm == 0
+    assert not CONSTRAINED_CONTROLS.allow_ar_modification
+    assert not CONSTRAINED_CONTROLS.allow_fpr_modification
+    assert CONSTRAINED_CONTROLS.pifc == 0
+
+
+def test_begin_end_depth():
+    state = TransactionState()
+    assert not state.active
+    assert state.begin(TbeginControls(), constrained=False) == 1
+    assert state.active
+    assert state.begin(TbeginControls(), constrained=False) == 2
+    assert state.end() == 1
+    assert state.end() == 0
+    assert not state.active
+
+
+def test_end_without_begin_rejected():
+    with pytest.raises(MachineStateError):
+        TransactionState().end()
+
+
+def test_begin_beyond_max_depth_rejected():
+    state = TransactionState(max_nesting_depth=2)
+    state.begin(TbeginControls(), False)
+    state.begin(TbeginControls(), False)
+    with pytest.raises(MachineStateError):
+        state.begin(TbeginControls(), False)
+
+
+def test_constrained_flag_set_at_outermost_only():
+    state = TransactionState()
+    state.begin(TbeginControls(), constrained=True)
+    assert state.constrained
+    state.begin(TbeginControls(), constrained=False)
+    assert state.constrained  # outermost decides
+
+
+def test_reset_clears_everything():
+    state = TransactionState()
+    state.begin(TbeginControls(), False)
+    state.read_set.add(0x100)
+    state.octowords.add(0)
+    state.xi_rejects = 5
+    state.tbegin_address = 0x1000
+    state.reset()
+    assert state.depth == 0
+    assert state.read_set == set()
+    assert state.octowords == set()
+    assert state.xi_rejects == 0
+    assert state.tbegin_address is None
+
+
+def test_tdb_address_from_outermost_only():
+    state = TransactionState()
+    state.begin(TbeginControls(tdb_address=0x8000), False)
+    state.begin(TbeginControls(tdb_address=0x9000), False)
+    assert state.tdb_address == 0x8000
+
+
+def test_outermost_requires_active_transaction():
+    with pytest.raises(MachineStateError):
+        TransactionState().outermost

@@ -1,0 +1,110 @@
+"""Tests for the workload generators and the experiment harness."""
+
+import pytest
+
+from repro.bench.figures import (
+    UpdateExperiment,
+    baseline_throughput,
+    run_update_experiment,
+)
+from repro.bench.lru import footprint_abort_rate
+from repro.errors import ConfigurationError
+from repro.workloads.layout import PoolLayout
+from repro.workloads.pool import SCHEMES, build_update_program
+
+
+class TestLayout:
+    def test_variables_on_separate_lines(self):
+        layout = PoolLayout(pool_size=100)
+        addresses = [layout.var_addr(i) for i in range(100)]
+        lines = {a // 256 for a in addresses}
+        assert len(lines) == 100
+
+    def test_locks_do_not_overlap_pool(self):
+        layout = PoolLayout(pool_size=10_000)
+        pool_range = (layout.pool_base,
+                      layout.var_addr(10_000 - 1) + 256)
+        for lock in (layout.coarse_lock_addr, layout.rw_lock_addr,
+                     layout.fine_lock_addr(9_999)):
+            assert not pool_range[0] <= lock < pool_range[1]
+
+    def test_fine_locks_on_separate_lines(self):
+        layout = PoolLayout(pool_size=50)
+        lines = {layout.fine_lock_addr(i) // 256 for i in range(50)}
+        assert len(lines) == 50
+
+
+class TestProgramBuilder:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_all_schemes_assemble(self, scheme):
+        n_vars = 1 if scheme == "fine" else 4
+        program = build_update_program(scheme, PoolLayout(10),
+                                       n_vars=n_vars, iterations=3)
+        assert len(program) > 3
+
+    def test_fine_with_four_vars_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_update_program("fine", PoolLayout(10), n_vars=4)
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_update_program("magic", PoolLayout(10))
+
+    def test_invalid_nvars_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_update_program("coarse", PoolLayout(10), n_vars=2)
+
+    def test_pool1_four_vars_uses_consecutive_lines(self):
+        """"If the pool consists of only 1 variable, we use 4 consecutive
+        cache lines"."""
+        program = build_update_program("none", PoolLayout(1), n_vars=4,
+                                       iterations=1)
+        mnemonics = [loc.instruction.mnemonic for loc in program]
+        assert "RANDOM" not in mnemonics
+
+
+class TestExperiments:
+    @pytest.mark.parametrize("scheme", ["none", "coarse", "tbegin", "tbeginc"])
+    def test_update_counts_are_exact(self, scheme):
+        """Whatever the scheme, every increment must land (atomicity)."""
+        experiment = UpdateExperiment(scheme, n_cpus=3, pool_size=4,
+                                      n_vars=1, iterations=10)
+        result = run_update_experiment(experiment)
+        assert result.total_updates == 30
+
+    def test_four_variable_updates_counted(self):
+        experiment = UpdateExperiment("tbeginc", n_cpus=2, pool_size=8,
+                                      n_vars=4, iterations=5)
+        result = run_update_experiment(experiment)
+        assert result.total_updates == 10
+
+    def test_rwlock_read_experiment_runs(self):
+        experiment = UpdateExperiment("rwlock", n_cpus=2, pool_size=100,
+                                      n_vars=4, iterations=5)
+        result = run_update_experiment(experiment)
+        assert result.total_updates == 10
+
+    def test_invalid_experiment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UpdateExperiment("nope", 2, 10)
+        with pytest.raises(ConfigurationError):
+            UpdateExperiment("coarse", 0, 10)
+
+    def test_baseline_cached(self):
+        first = baseline_throughput(iterations=10)
+        second = baseline_throughput(iterations=10)
+        assert first == second
+
+
+class TestFootprintMonteCarlo:
+    def test_tiny_footprints_never_abort(self):
+        assert footprint_abort_rate(4, lru_extension=False, trials=10) == 0.0
+        assert footprint_abort_rate(4, lru_extension=True, trials=10) == 0.0
+
+    def test_pigeonhole_at_l1_capacity(self):
+        """385+ lines cannot fit a 384-line L1: abort rate 1.0 without
+        the LRU extension."""
+        assert footprint_abort_rate(400, lru_extension=False, trials=5) == 1.0
+
+    def test_extension_moves_the_limit_to_l2(self):
+        assert footprint_abort_rate(400, lru_extension=True, trials=5) < 0.5
