@@ -1,0 +1,296 @@
+"""Parallel experiment execution for the figure sweeps.
+
+Every benchmark point in the Figure 5 reproduction is an independent
+simulation: each machine derives all of its randomness from
+``params.seed`` and the CPU ids, so a point computes the same
+:class:`~repro.sim.results.SimResult` no matter which process runs it or
+in which order. This module exploits that in two ways:
+
+* a :func:`run_tasks` executor fans points out across worker processes
+  with :mod:`multiprocessing` and merges the results **in submission
+  order**, so serial and parallel runs are bit-identical;
+* an on-disk JSON :class:`ResultCache` keyed by a hash of (experiment,
+  params, code version) lets re-runs of ``benchmarks/run_figures.py``
+  skip already-computed points. The code-version component hashes the
+  ``repro`` package sources, so editing the simulator invalidates the
+  cache automatically.
+
+A *task* is ``(kind, experiment)`` where ``kind`` selects the runner:
+
+========== ============================================ =================
+kind       experiment                                   result
+========== ============================================ =================
+update     :class:`~repro.bench.figures.UpdateExperiment`   ``SimResult``
+hashtable  :class:`~repro.workloads.hashtable.HashtableExperiment` ``SimResult``
+queue      :class:`~repro.workloads.queue.QueueExperiment`  ``SimResult``
+footprint  :class:`FootprintTask`                       abort rate float
+========== ============================================ =================
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..params import MachineParams, ZEC12
+from ..sim.results import CpuResult, SimResult
+from ..workloads.hashtable import HashtableExperiment, run_hashtable_experiment
+from ..workloads.queue import QueueExperiment, run_queue_experiment
+from .figures import (
+    SweepPoint,
+    UpdateExperiment,
+    run_update_experiment,
+)
+from .lru import footprint_abort_rate
+
+
+@dataclass(frozen=True)
+class FootprintTask:
+    """One Monte-Carlo point of the Figure 5(f) LRU-extension study."""
+
+    accessed_lines: int
+    lru_extension: bool
+    trials: int = 100
+    seed: int = 1
+
+
+Task = Tuple[str, Any]
+
+# ----------------------------------------------------------------------
+# result (de)serialisation — SimResult <-> plain JSON
+# ----------------------------------------------------------------------
+
+
+def result_to_payload(result: SimResult) -> Dict[str, Any]:
+    """A JSON-serialisable image of a :class:`SimResult`."""
+    return {
+        "type": "sim",
+        "cycles": result.cycles,
+        "aborted_early": result.aborted_early,
+        "cpus": [
+            {
+                "cpu_id": c.cpu_id,
+                "instructions": c.instructions,
+                "tx_started": c.tx_started,
+                "tx_committed": c.tx_committed,
+                "tx_aborted": c.tx_aborted,
+                "xi_rejects": c.xi_rejects,
+                "intervals": list(c.intervals),
+            }
+            for c in result.cpus
+        ],
+    }
+
+
+def result_from_payload(payload: Dict[str, Any]) -> Any:
+    """Inverse of :func:`result_to_payload` (passes scalars through)."""
+    if payload["type"] == "scalar":
+        return payload["value"]
+    return SimResult(
+        cycles=payload["cycles"],
+        aborted_early=payload["aborted_early"],
+        cpus=[CpuResult(**cpu) for cpu in payload["cpus"]],
+    )
+
+
+# ----------------------------------------------------------------------
+# cache keys
+# ----------------------------------------------------------------------
+
+_CODE_VERSION: Optional[str] = None
+
+
+def code_version() -> str:
+    """Hash of the ``repro`` package sources (cached per process).
+
+    Any edit to the simulator changes the version and therefore every
+    cache key, so a stale cache can never leak results from old code.
+    """
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        package_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        digest = hashlib.sha256()
+        for dirpath, dirnames, filenames in sorted(os.walk(package_root)):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if not name.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, name)
+                digest.update(os.path.relpath(path, package_root).encode())
+                with open(path, "rb") as handle:
+                    digest.update(handle.read())
+        _CODE_VERSION = digest.hexdigest()[:16]
+    return _CODE_VERSION
+
+
+def task_key(kind: str, experiment: Any, params: MachineParams) -> str:
+    """Stable cache key for one (experiment, params, code version)."""
+    blob = json.dumps(
+        {
+            "kind": kind,
+            "experiment": asdict(experiment),
+            "params": asdict(params),
+            "code": code_version(),
+        },
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:32]
+
+
+class ResultCache:
+    """One JSON file per computed point under ``root``."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key + ".json")
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        try:
+            with open(self._path(key)) as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        os.makedirs(self.root, exist_ok=True)
+        # Atomic publish so a concurrent reader never sees a torn file.
+        tmp = self._path(key) + f".tmp.{os.getpid()}"
+        with open(tmp, "w") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, self._path(key))
+
+
+def default_cache_root() -> str:
+    """``$REPRO_BENCH_CACHE`` or ``.bench_cache`` in the working dir."""
+    return os.environ.get("REPRO_BENCH_CACHE") or os.path.join(
+        os.getcwd(), ".bench_cache"
+    )
+
+
+# ----------------------------------------------------------------------
+# the executor
+# ----------------------------------------------------------------------
+
+
+def _run_task(job: Tuple[str, Any, MachineParams]) -> Dict[str, Any]:
+    """Worker entry point: run one task, return its JSON payload.
+
+    Module-level (not a closure) so it pickles under every
+    multiprocessing start method.
+    """
+    kind, experiment, params = job
+    if kind == "update":
+        return result_to_payload(run_update_experiment(experiment, params))
+    if kind == "hashtable":
+        return result_to_payload(run_hashtable_experiment(experiment, params))
+    if kind == "queue":
+        return result_to_payload(run_queue_experiment(experiment, params))
+    if kind == "footprint":
+        rate = footprint_abort_rate(
+            experiment.accessed_lines,
+            experiment.lru_extension,
+            trials=experiment.trials,
+            params=params,
+            seed=experiment.seed,
+        )
+        return {"type": "scalar", "value": rate}
+    raise ValueError(f"unknown task kind {kind!r}")
+
+
+def run_tasks(
+    tasks: Sequence[Task],
+    params: MachineParams = ZEC12,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> List[Any]:
+    """Run experiment tasks, possibly in parallel, preserving order.
+
+    Results come back in submission order regardless of ``workers``, and
+    each point's simulation is fully self-seeded, so the outputs are
+    bit-identical to a serial run. With a ``cache``, already-computed
+    points are served from disk and fresh points are written back.
+    """
+    jobs = [(kind, experiment, params) for kind, experiment in tasks]
+    keys = [task_key(kind, experiment, params) for kind, experiment in tasks]
+
+    payloads: List[Optional[Dict[str, Any]]] = [None] * len(jobs)
+    if cache is not None:
+        for i, key in enumerate(keys):
+            payloads[i] = cache.get(key)
+
+    missing = [i for i, payload in enumerate(payloads) if payload is None]
+    if missing:
+        if workers > 1 and len(missing) > 1:
+            # Imported lazily: simulator-only users never pay for it.
+            from multiprocessing import Pool
+
+            with Pool(processes=min(workers, len(missing))) as pool:
+                fresh = pool.map(_run_task, [jobs[i] for i in missing])
+        else:
+            fresh = [_run_task(jobs[i]) for i in missing]
+        for i, payload in zip(missing, fresh):
+            payloads[i] = payload
+            if cache is not None:
+                cache.put(keys[i], payload)
+
+    return [result_from_payload(payload) for payload in payloads]
+
+
+# ----------------------------------------------------------------------
+# figure-panel helpers (parallel counterparts of figures.sweep)
+# ----------------------------------------------------------------------
+
+
+def baseline_task(iterations: int) -> Task:
+    """The normalisation point: 2 CPUs updating a pool of 1 (TBEGIN)."""
+    return (
+        "update",
+        UpdateExperiment("tbegin", n_cpus=2, pool_size=1, n_vars=1,
+                         iterations=iterations),
+    )
+
+
+def parallel_sweep(
+    schemes: Sequence[str],
+    cpu_counts: Sequence[int],
+    pool_size: int,
+    n_vars: int,
+    iterations: int = 50,
+    params: MachineParams = ZEC12,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> List[SweepPoint]:
+    """Parallel drop-in for :func:`repro.bench.figures.sweep`.
+
+    Produces the same points in the same order: the normalisation
+    baseline rides along as the first task.
+    """
+    tasks: List[Task] = [baseline_task(iterations)]
+    for scheme in schemes:
+        for n_cpus in cpu_counts:
+            tasks.append(
+                (
+                    "update",
+                    UpdateExperiment(scheme, n_cpus, pool_size, n_vars,
+                                     iterations),
+                )
+            )
+    results = run_tasks(tasks, params=params, workers=workers, cache=cache)
+    base = results[0].throughput
+    points: List[SweepPoint] = []
+    for (_, experiment), result in zip(tasks[1:], results[1:]):
+        points.append(
+            SweepPoint(
+                scheme=experiment.scheme,
+                n_cpus=experiment.n_cpus,
+                throughput=result.normalized_throughput(base),
+                abort_rate=result.abort_rate,
+            )
+        )
+    return points

@@ -27,6 +27,7 @@ All state mutations happen after the last fetch of an operation.
 from __future__ import annotations
 
 import random
+from itertools import repeat
 from typing import Optional, Set, Tuple
 
 from ..errors import (
@@ -38,6 +39,7 @@ from ..mem.address import lines_touched, line_address, octowords_touched
 from ..mem.fabric import CoherenceFabric, CpuPort
 from ..mem.l1 import L1Cache
 from ..mem.l2 import L2Cache
+from ..mem.line import Ownership
 from ..mem.memory import MainMemory
 from ..mem.paging import PageTable
 from ..mem.storecache import GatheringStoreCache, StoreCacheOverflow
@@ -54,11 +56,17 @@ from .tdb import prefix_tdb_address, store_tdb
 from .txstate import CONSTRAINED_CONTROLS, TbeginControls, TransactionState
 
 
+#: Infinite zero-source shared by the read fast path (``map`` stops at the
+#: end of the address range, so the iterator is never exhausted).
+_REPEAT0 = repeat(0)
+
+
 class FetchRetry(Exception):
     """A fetch was stiff-armed; re-execute the operation after ``delay``."""
 
     def __init__(self, delay: int) -> None:
-        super().__init__(delay)
+        # No super().__init__ — the exception carries only ``delay`` and
+        # is raised hundreds of thousands of times per sweep.
         self.delay = delay
 
 
@@ -79,9 +87,22 @@ class TxEngine(CpuPort):
         self.memory = memory
         self.page_table = page_table if page_table is not None else PageTable()
         self.rng = random.Random((params.seed << 16) ^ (cpu_id * 0x9E3779B1))
+        #: Hot-loop constants and references hoisted out of the per-access
+        #: paths. ``_page_missing`` aliases the page table's missing-set
+        #: (mutated only in place), so the translate call is skipped
+        #: whenever no page is unmapped — the overwhelming common case.
+        self._line_size = params.line_size
+        self._line_mask = ~(params.line_size - 1)
+        self._lat = params.latencies
+        self._page_missing = self.page_table._missing
+        self._mem_get = memory._bytes.get
 
         self.l1 = L1Cache(params.l1, lru_extension_enabled=params.lru_extension)
         self.l2 = L2Cache(params.l2)
+        #: Aliases into the L1 directory for the fetch fast path (the
+        #: directory and its entry index are never rebound).
+        self._l1_dir = self.l1.directory
+        self._l1_entries = self.l1.directory._entries
         self.stq = StoreQueue()
         self.store_cache = GatheringStoreCache(
             entries=params.tx.store_cache_entries,
@@ -131,28 +152,42 @@ class TxEngine(CpuPort):
         re-executed operation). Also runs the Transaction Diagnostic
         Control's random-abort check.
         """
-        self.raise_if_pending()
-        if self.tx.active:
-            # The CPU is completing instructions, so continuing to
-            # stiff-arm XIs is productive: the hang-avoidance reject
-            # counter restarts. A CPU stuck in a fetch-retry loop (e.g. a
-            # cyclic line dependency with another transaction) completes
-            # nothing, its counter accumulates, and it aborts at the
-            # threshold — "if the core is not completing further
-            # instructions while continuously rejecting XIs, the
-            # transaction is aborted at a certain threshold".
-            self.tx.xi_rejects = 0
-            self.tx.instruction_count += 1
-            if (
-                self.tx.constrained
-                and self.tx.instruction_count
-                > self.params.tx.constrained_max_instructions
-            ):
-                self.constraint_violation()
-            if self.tdc.should_abort_now(self.tx.constrained):
-                self.tx.diagnostic_abort_armed = True
-                self._abort_now(AbortCode.DIAGNOSTIC)
-                self.raise_if_pending()
+        if self.pending_abort is not None:
+            raise TransactionAbortSignal(self.pending_abort)
+        if self.tx.depth:
+            self.note_tx_instruction()
+
+    def note_tx_instruction(self) -> None:
+        """The in-transaction part of :meth:`note_instruction`.
+
+        Exposed separately so the interpreter's step loop, which checks
+        ``pending_abort`` and ``tx.depth`` itself, can skip the call
+        entirely outside transactions.
+        """
+        # The CPU is completing instructions, so continuing to
+        # stiff-arm XIs is productive: the hang-avoidance reject
+        # counter restarts. A CPU stuck in a fetch-retry loop (e.g. a
+        # cyclic line dependency with another transaction) completes
+        # nothing, its counter accumulates, and it aborts at the
+        # threshold — "if the core is not completing further
+        # instructions while continuously rejecting XIs, the
+        # transaction is aborted at a certain threshold".
+        self.tx.xi_rejects = 0
+        self.tx.instruction_count += 1
+        if (
+            self.tx.constrained
+            and self.tx.instruction_count
+            > self.params.tx.constrained_max_instructions
+        ):
+            self.constraint_violation()
+        # Mode 0 (the default) never aborts and consumes no RNG, so
+        # the call is skipped entirely on the hot path.
+        if self.tdc.mode != 0 and self.tdc.should_abort_now(
+            self.tx.constrained
+        ):
+            self.tx.diagnostic_abort_armed = True
+            self._abort_now(AbortCode.DIAGNOSTIC)
+            self.raise_if_pending()
 
     def raise_if_pending(self) -> None:
         """Raise the pending abort signal, if any (completion stall point)."""
@@ -294,18 +329,32 @@ class TxEngine(CpuPort):
         store to the same line in the pipeline and fetches exclusive up
         front), avoiding a read-only window before the upgrade.
         """
-        self.raise_if_pending()
-        self._translate(addr, length, store=False)
-        latency = 0
-        missed = False
-        lines = lines_touched(addr, length, self.params.line_size)
-        for line in lines:
-            cycles, source = self._fetch(line, exclusive=exclusive)
-            latency += cycles
-            missed = missed or source != "l1"
-        self._note_read_lines(lines, addr, length)
-        if missed:
-            self._speculative_prefetch(lines[-1])
+        if self.pending_abort is not None:
+            raise TransactionAbortSignal(self.pending_abort)
+        if self._page_missing:
+            self._translate(addr, length, store=False)
+        first = addr & self._line_mask
+        if (addr + length - 1) & self._line_mask == first:
+            # Single-line access — the overwhelmingly common case.
+            latency, source = self._fetch(first, exclusive=exclusive)
+            missed = source != "l1"
+            lines: Tuple[int, ...] = (first,)
+        else:
+            latency = 0
+            missed = False
+            lines = lines_touched(addr, length, self._line_size)
+            for line in lines:
+                cycles, source = self._fetch(line, exclusive=exclusive)
+                latency += cycles
+                if source != "l1":
+                    missed = True
+        if self.tx.depth:
+            # Both calls are no-ops outside a transaction (and the
+            # prefetch consumes RNG only when one is active), so the
+            # non-transactional fast path skips them entirely.
+            self._note_read_lines(lines, addr, length)
+            if missed:
+                self._speculative_prefetch(lines[-1])
         return (self._read_value(addr, length), latency)
 
     def store(self, addr: int, value: int, length: int = 8) -> int:
@@ -314,15 +363,23 @@ class TxEngine(CpuPort):
         Requires exclusive ownership of the target lines; buffers the data
         in the store queue / gathering store cache.
         """
-        self.raise_if_pending()
-        self._translate(addr, length, store=True)
-        latency = 0
-        lines = lines_touched(addr, length, self.params.line_size)
-        for line in lines:
-            latency += self._fetch(line, exclusive=True)[0]
+        if self.pending_abort is not None:
+            raise TransactionAbortSignal(self.pending_abort)
+        if self._page_missing:
+            self._translate(addr, length, store=True)
+        first = addr & self._line_mask
+        if (addr + length - 1) & self._line_mask == first:
+            latency = self._fetch(first, exclusive=True)[0]
+            lines: Tuple[int, ...] = (first,)
+        else:
+            latency = 0
+            lines = lines_touched(addr, length, self._line_size)
+            for line in lines:
+                latency += self._fetch(line, exclusive=True)[0]
         self._check_per_store(addr, length)
         self._commit_store(addr, value, length, ntstg=False)
-        self._note_write_lines(lines, addr, length)
+        if self.tx.depth:
+            self._note_write_lines(lines, addr, length)
         return latency
 
     def add_to_storage(self, addr: int, increment: int,
@@ -337,9 +394,11 @@ class TxEngine(CpuPort):
 
         Returns ``(new_value, latency)``.
         """
-        self.raise_if_pending()
-        self._translate(addr, length, store=True)
-        lines = lines_touched(addr, length, self.params.line_size)
+        if self.pending_abort is not None:
+            raise TransactionAbortSignal(self.pending_abort)
+        if self._page_missing:
+            self._translate(addr, length, store=True)
+        lines = lines_touched(addr, length, self._line_size)
         latency = 0
         for line in lines:
             latency += self._fetch(line, exclusive=True)[0]
@@ -364,7 +423,8 @@ class TxEngine(CpuPort):
         self.raise_if_pending()
         if addr % 8:
             self._program_interruption(InterruptionCode.SPECIFICATION, addr)
-        self._translate(addr, 8, store=True)
+        if self._page_missing:
+            self._translate(addr, 8, store=True)
         line = line_address(addr, self.params.line_size)
         latency = self._fetch(line, exclusive=True)[0]
         self._check_per_store(addr, 8)
@@ -380,9 +440,11 @@ class TxEngine(CpuPort):
         Returns ``(swapped, observed_value, latency)``; the observed value
         is what CS loads into the comparand register on a miscompare.
         """
-        self.raise_if_pending()
-        self._translate(addr, length, store=True)
-        lines = lines_touched(addr, length, self.params.line_size)
+        if self.pending_abort is not None:
+            raise TransactionAbortSignal(self.pending_abort)
+        if self._page_missing:
+            self._translate(addr, length, store=True)
+        lines = lines_touched(addr, length, self._line_size)
         latency = self.params.costs.cas_extra
         for line in lines:
             latency += self._fetch(line, exclusive=True)[0]
@@ -412,12 +474,28 @@ class TxEngine(CpuPort):
         the re-executed operation then performs the real transfer at the
         L1-install cost.
         """
+        lat = self._lat
+        # L1 hit with sufficient ownership: the probe would return l1_hit
+        # (never a retry) and try_fetch would return an "l1" outcome after
+        # an LRU touch — done inline, skipping both fabric calls.
+        entry = self._l1_entries.get(line)
+        if entry is not None and (
+            not exclusive or entry.state is Ownership.EXCLUSIVE
+        ):
+            directory = self._l1_dir
+            self.fabric.stats_fetches += 1
+            directory._clock += 1
+            entry.lru = directory._clock
+            self._fetch_wait = None
+            if self.pending_abort is not None:
+                raise TransactionAbortSignal(self.pending_abort)
+            return (lat.l1_hit, "l1")
         key = (line, exclusive)
         if self._fetch_wait != key:
             probe = self.fabric.probe_latency(self.cpu_id, line, exclusive)
-            if probe > self.params.latencies.l2_hit:
+            if probe > lat.l2_hit:
                 self._fetch_wait = key
-                raise FetchRetry(probe - self.params.latencies.l1_hit)
+                raise FetchRetry(probe - lat.l1_hit)
         self._fetch_wait = None
         outcome = self.fabric.try_fetch(self.cpu_id, line, exclusive)
         # Our own install may have evicted our own footprint (note_l1/l2
@@ -425,7 +503,9 @@ class TxEngine(CpuPort):
         self.raise_if_pending()
         if not outcome.done:
             raise FetchRetry(outcome.latency)
-        latency = min(outcome.latency, self.params.latencies.l1_hit)
+        latency = outcome.latency
+        if latency > lat.l1_hit:
+            latency = lat.l1_hit
         return (latency, outcome.source)
 
     def _note_read_lines(self, lines, addr: int, length: int) -> None:
@@ -499,14 +579,29 @@ class TxEngine(CpuPort):
     def _read_value(self, addr: int, length: int) -> int:
         """Assemble a load value: STQ forwarding, then store cache, then
         the architected memory image."""
+        end = addr + length
+        # Fast path: nothing pending anywhere near the access — read the
+        # architected image directly (``_REPEAT0`` supplies the default
+        # for unwritten bytes; ``map`` keeps the loop in C).
+        if not self.stq._entries and (
+            not self.store_cache._by_block
+            or not self.store_cache.overlaps_range(addr, end)
+        ):
+            return int.from_bytes(
+                bytes(map(self._mem_get, range(addr, end), _REPEAT0)), "big"
+            )
+        stq_forward = self.stq.forward_byte
+        sc_forward = self.store_cache.forward_byte
+        mem_read = self.memory.read_byte
         result = bytearray()
-        for byte_addr in range(addr, addr + length):
-            value = self.stq.forward_byte(byte_addr)
+        append = result.append
+        for byte_addr in range(addr, end):
+            value = stq_forward(byte_addr)
             if value is None:
-                value = self.store_cache.forward_byte(byte_addr)
-            if value is None:
-                value = self.memory.read_byte(byte_addr)
-            result.append(value)
+                value = sc_forward(byte_addr)
+                if value is None:
+                    value = mem_read(byte_addr)
+            append(value)
         return int.from_bytes(bytes(result), "big")
 
     def _commit_store(self, addr: int, value: int, length: int, ntstg: bool) -> None:
@@ -525,6 +620,8 @@ class TxEngine(CpuPort):
         self.memory.apply_writes(self.store_cache.take_drained())
 
     def _check_per_store(self, addr: int, length: int) -> None:
+        if self.per.storage_range is None:
+            return
         event = self.per.check_store(addr, length, self.tx.active)
         if event is not None:
             # PER events cause a non-filterable program interruption; in a

@@ -38,7 +38,26 @@ from ..errors import (
 from .assembler import Program
 from .interrupts import OsModel
 from .isa import Instruction, Mem
-from .registers import RegisterFile
+from .registers import MASK64, RegisterFile
+
+
+class _Decoded:
+    """One pre-decoded program location.
+
+    Built once at CPU construction so the per-step path is a single dict
+    probe: the handler is pre-bound to the CPU, the dispatch-table lookup
+    is resolved, and the fall-through successor address is pre-computed
+    (``Program.next_address`` is two dict probes plus bounds checks).
+    """
+
+    __slots__ = ("insn", "handler", "pseudo", "next_ia")
+
+    def __init__(self, insn: Instruction, handler: Callable,
+                 pseudo: bool, next_ia: int) -> None:
+        self.insn = insn
+        self.handler = handler
+        self.pseudo = pseudo
+        self.next_ia = next_ia
 
 
 class IsaCpu:
@@ -56,7 +75,9 @@ class IsaCpu:
         self.os = os_model
         self.regs = RegisterFile()
         self.regs.psw.instruction_address = program.entry
-        self.halted = False
+        #: Scheduler contract — plain attribute so the scheduler's
+        #: twice-per-event check costs a slot load, not a descriptor call.
+        self.done = False
         self.mark_sink = mark_sink
         #: IA currently being re-executed after a FetchRetry (so the
         #: architected instruction count is not double-incremented).
@@ -64,30 +85,108 @@ class IsaCpu:
         #: Aborts observed, for tests and statistics.
         self.aborts: list = []
         self.stats_instructions = 0
+        #: Per-instruction cost constant, hoisted out of the step loop.
+        self._cost_base = engine.params.costs.base
+        #: The engine's PER and transaction state objects are created once
+        #: and never rebound — alias them for the per-step checks.
+        self._eng_per = engine.per
+        self._eng_tx = engine.tx
+        #: IA -> ``(0, target)`` tuple for statically-resolved branches
+        #: (filled by :meth:`_predecode`); taken branches return it
+        #: directly instead of re-resolving the label per execution.
+        self._branch_tuple: Dict[int, tuple] = {}
+        #: Address -> pre-decoded record (see :class:`_Decoded`).
+        self._decoded: Dict[int, _Decoded] = self._predecode(program)
+
+    def _predecode(self, program: Program) -> Dict[int, _Decoded]:
+        decoded: Dict[int, _Decoded] = {}
+        dispatch = self._DISPATCH
+        specialize = self._SPECIALIZE
+        for loc in program:
+            insn = loc.instruction
+            if insn.target is not None and insn.target in program.labels:
+                self._branch_tuple[loc.address] = (
+                    0, program.labels[insn.target]
+                )
+            handler = None
+            factory = specialize.get(insn.mnemonic)
+            if factory is not None:
+                # A per-instruction closure with operands (and branch
+                # targets) resolved once, at load time.
+                handler = factory(self, insn, loc.address)
+            if handler is None:
+                handler = dispatch.get(insn.mnemonic)
+                if handler is None:
+                    # Defer the failure to execution time (matching the
+                    # historical per-step dispatch behaviour).
+                    def handler(ia, insn, _m=insn.mnemonic):
+                        raise MachineStateError(f"no handler for {_m}")
+                else:
+                    handler = handler.__get__(self, IsaCpu)
+            decoded[loc.address] = _Decoded(
+                insn, handler, insn.pseudo, program.next_address(loc.address)
+            )
+        return decoded
 
     @property
     def cpu_id(self) -> int:
         return self.engine.cpu_id
 
     @property
-    def done(self) -> bool:
-        """Scheduler contract: this CPU has no more work."""
-        return self.halted
+    def halted(self) -> bool:
+        """Historical alias for :attr:`done`."""
+        return self.done
 
     # ------------------------------------------------------------------
 
     def step(self) -> int:
-        """Execute one instruction; returns its latency in cycles."""
-        if self.halted:
+        """Execute one instruction; returns its latency in cycles.
+
+        The body of the (historical) ``_execute`` helper is inlined here:
+        it runs once per simulated instruction, so even the call overhead
+        is measurable across hundred-million-step sweeps.
+        """
+        if self.done:
             return 0
-        ia = self.regs.psw.instruction_address
-        loc = self.program.at(ia)
-        if loc is None:
-            self.halted = True
+        psw = self.regs.psw
+        ia = psw.instruction_address
+        dec = self._decoded.get(ia)
+        if dec is None:
+            self.done = True
             return 0
-        insn = loc.instruction
+        engine = self.engine
         try:
-            return self._execute(ia, insn)
+            per = self._eng_per
+            if per.ifetch_range is not None:
+                event = per.check_ifetch(ia, engine.tx.active)
+                if event is not None:
+                    engine.pending_per_event = event
+                    engine._program_interruption(
+                        InterruptionCode.PER_EVENT, ia,
+                        instruction_fetch=False,
+                    )
+            if not dec.pseudo:
+                if engine.pending_abort is not None:
+                    raise TransactionAbortSignal(engine.pending_abort)
+                if self._retrying != ia and self._eng_tx.depth:
+                    engine.note_tx_instruction()
+            if self._eng_tx.depth:
+                self._check_restrictions(ia, dec.insn)
+            taken_target: Optional[int] = None
+            latency = dec.handler(ia, dec.insn)
+            if type(latency) is tuple:
+                latency, taken_target = latency
+            self._retrying = None
+            self.stats_instructions += 1
+            if taken_target is not None:
+                self._branch_to(taken_target)
+            else:
+                psw.instruction_address = dec.next_ia
+            event = engine.pending_per_event
+            if event is not None:
+                engine.pending_per_event = None
+                self.os.note_per_event(event)
+            return latency + self._cost_base
         except FetchRetry:
             self._retrying = ia
             raise
@@ -97,36 +196,6 @@ class IsaCpu:
         except ProgramInterruptionSignal as signal:
             self._retrying = None
             return self._handle_os_interruption(signal.interruption)
-
-    def _execute(self, ia: int, insn: Instruction) -> int:
-        engine = self.engine
-        if engine.per.ifetch_range is not None:
-            event = engine.per.check_ifetch(ia, engine.tx.active)
-            if event is not None:
-                engine.pending_per_event = event
-                engine._program_interruption(InterruptionCode.PER_EVENT, ia,
-                                             instruction_fetch=False)
-        if not insn.pseudo:
-            if self._retrying == ia:
-                engine.raise_if_pending()
-            else:
-                engine.note_instruction()
-        self._check_restrictions(ia, insn)
-        handler = self._DISPATCH.get(insn.mnemonic)
-        if handler is None:
-            raise MachineStateError(f"no handler for {insn.mnemonic}")
-        taken_target: Optional[int] = None
-        latency = handler(self, ia, insn)
-        if isinstance(latency, tuple):
-            latency, taken_target = latency
-        self._retrying = None
-        self.stats_instructions += 1
-        if taken_target is not None:
-            self._branch_to(taken_target)
-        else:
-            self.regs.psw.instruction_address = self.program.next_address(ia)
-        self._deliver_per_event()
-        return latency + self.engine.params.costs.base
 
     def _branch_to(self, target: int) -> None:
         engine = self.engine
@@ -237,15 +306,22 @@ class IsaCpu:
     # instruction semantics
     # ------------------------------------------------------------------
 
+    # The handlers on the sweep hot path (loads/stores, loop control,
+    # lock spins) index ``regs.gr`` directly and inline the effective-
+    # address arithmetic: at half a million executions per sweep point
+    # the ``get_gr``/``_ea`` call overhead dominates their own work.
+
     def _op_lhi(self, ia, insn):
         r, imm = insn.operands
-        self.regs.set_gr(r, imm)
+        self.regs.gr[r] = imm & MASK64
         return 0
 
     def _op_ahi(self, ia, insn):
         r, imm = insn.operands
-        result = self.regs.get_gr_signed(r) + imm
-        self.regs.set_gr(r, result)
+        gr = self.regs.gr
+        value = gr[r]
+        result = (value - (1 << 64) if value >> 63 else value) + imm
+        gr[r] = result & MASK64
         self._set_cc_signed(result)
         return 0
 
@@ -256,7 +332,13 @@ class IsaCpu:
 
     def _op_la(self, ia, insn):
         r, mem = insn.operands
-        self.regs.set_gr(r, self._ea(mem))
+        gr = self.regs.gr
+        addr = mem.disp
+        if mem.base is not None:
+            addr += gr[mem.base]
+        if mem.index is not None:
+            addr += gr[mem.index]
+        gr[r] = addr & MASK64
         return 0
 
     def _op_agr(self, ia, insn):
@@ -313,10 +395,14 @@ class IsaCpu:
 
     def _op_brct(self, ia, insn):
         (r,) = insn.operands
-        value = (self.regs.get_gr(r) - 1) & ((1 << 64) - 1)
-        self.regs.set_gr(r, value)
+        gr = self.regs.gr
+        value = (gr[r] - 1) & MASK64
+        gr[r] = value
         if value != 0:
-            return (0, self.program.target_address(insn))
+            tup = self._branch_tuple.get(ia)
+            return tup if tup is not None else (
+                0, self.program.target_address(insn)
+            )
         return 0
 
     def _op_stck(self, ia, insn):
@@ -326,39 +412,79 @@ class IsaCpu:
 
     def _op_lg(self, ia, insn):
         r, mem = insn.operands
-        value, latency = self.engine.load(self._ea(mem), 8)
-        self.regs.set_gr(r, value)
+        gr = self.regs.gr
+        addr = mem.disp
+        if mem.base is not None:
+            addr += gr[mem.base]
+        if mem.index is not None:
+            addr += gr[mem.index]
+        value, latency = self.engine.load(addr, 8)
+        gr[r] = value
         return latency
 
     def _op_ltg(self, ia, insn):
         r, mem = insn.operands
-        value, latency = self.engine.load(self._ea(mem), 8)
-        self.regs.set_gr(r, value)
-        signed = value - (1 << 64) if value >> 63 else value
-        self._set_cc_signed(signed)
+        gr = self.regs.gr
+        addr = mem.disp
+        if mem.base is not None:
+            addr += gr[mem.base]
+        if mem.index is not None:
+            addr += gr[mem.index]
+        value, latency = self.engine.load(addr, 8)
+        gr[r] = value
+        psw = self.regs.psw
+        if value == 0:
+            psw.condition_code = 0
+        elif value >> 63:
+            psw.condition_code = 1
+        else:
+            psw.condition_code = 2
         return latency
 
     def _op_stg(self, ia, insn):
         r, mem = insn.operands
-        return self.engine.store(self._ea(mem), self.regs.get_gr(r), 8)
+        gr = self.regs.gr
+        addr = mem.disp
+        if mem.base is not None:
+            addr += gr[mem.base]
+        if mem.index is not None:
+            addr += gr[mem.index]
+        return self.engine.store(addr, gr[r], 8)
 
     def _op_csg(self, ia, insn):
         r1, r3, mem = insn.operands
+        gr = self.regs.gr
+        addr = mem.disp
+        if mem.base is not None:
+            addr += gr[mem.base]
+        if mem.index is not None:
+            addr += gr[mem.index]
         swapped, observed, latency = self.engine.compare_and_swap(
-            self._ea(mem), self.regs.get_gr(r1), self.regs.get_gr(r3), 8
+            addr, gr[r1], gr[r3], 8
         )
         if swapped:
             self.regs.psw.condition_code = 0
         else:
-            self.regs.set_gr(r1, observed)
+            gr[r1] = observed
             self.regs.psw.condition_code = 1
         return latency
 
     def _op_agsi(self, ia, insn):
         mem, imm = insn.operands
-        new_value, latency = self.engine.add_to_storage(self._ea(mem), imm, 8)
-        signed = new_value - (1 << 64) if new_value >> 63 else new_value
-        self._set_cc_signed(signed)
+        gr = self.regs.gr
+        addr = mem.disp
+        if mem.base is not None:
+            addr += gr[mem.base]
+        if mem.index is not None:
+            addr += gr[mem.index]
+        new_value, latency = self.engine.add_to_storage(addr, imm, 8)
+        psw = self.regs.psw
+        if new_value == 0:
+            psw.condition_code = 0
+        elif new_value >> 63:
+            psw.condition_code = 1
+        else:
+            psw.condition_code = 2
         return latency
 
     def _op_ntstg(self, ia, insn):
@@ -377,13 +503,18 @@ class IsaCpu:
         return 0
 
     def _op_j(self, ia, insn):
-        return (0, self.program.target_address(insn))
+        tup = self._branch_tuple.get(ia)
+        return tup if tup is not None else (
+            0, self.program.target_address(insn)
+        )
 
     def _op_brc(self, ia, insn):
         (mask,) = insn.operands
-        cc = self.regs.psw.condition_code
-        if mask & (8 >> cc):
-            return (0, self.program.target_address(insn))
+        if mask & (8 >> self.regs.psw.condition_code):
+            tup = self._branch_tuple.get(ia)
+            return tup if tup is not None else (
+                0, self.program.target_address(insn)
+            )
         return 0
 
     def _op_cij(self, ia, insn):
@@ -495,8 +626,208 @@ class IsaCpu:
         return 0
 
     def _op_halt(self, ia, insn):
-        self.halted = True
+        self.done = True
         return 0
+
+    # ------------------------------------------------------------------
+    # predecode specialisation
+    # ------------------------------------------------------------------
+    # Factories building per-instruction closures for the sweep-dominating
+    # mnemonics: operand tuples are unpacked, effective-address terms and
+    # branch targets resolved, and the register file / engine entry points
+    # captured once at program-load time. Each closure is semantically
+    # identical to the generic handler of the same mnemonic. A factory may
+    # return None to fall back to the generic handler.
+
+    def _capture_ea(self, mem):
+        """(gr, disp, base, index) for closure-side address arithmetic."""
+        return self.regs.gr, mem.disp, mem.base, mem.index
+
+    def _spec_lg(self, insn, address):
+        r, mem = insn.operands
+        gr, disp, base, index = self._capture_ea(mem)
+        load = self.engine.load
+
+        def run(ia, _insn):
+            addr = disp
+            if base is not None:
+                addr += gr[base]
+            if index is not None:
+                addr += gr[index]
+            value, latency = load(addr, 8)
+            gr[r] = value
+            return latency
+
+        return run
+
+    def _spec_ltg(self, insn, address):
+        r, mem = insn.operands
+        gr, disp, base, index = self._capture_ea(mem)
+        load = self.engine.load
+        psw = self.regs.psw
+
+        def run(ia, _insn):
+            addr = disp
+            if base is not None:
+                addr += gr[base]
+            if index is not None:
+                addr += gr[index]
+            value, latency = load(addr, 8)
+            gr[r] = value
+            if value == 0:
+                psw.condition_code = 0
+            elif value >> 63:
+                psw.condition_code = 1
+            else:
+                psw.condition_code = 2
+            return latency
+
+        return run
+
+    def _spec_stg(self, insn, address):
+        r, mem = insn.operands
+        gr, disp, base, index = self._capture_ea(mem)
+        store = self.engine.store
+
+        def run(ia, _insn):
+            addr = disp
+            if base is not None:
+                addr += gr[base]
+            if index is not None:
+                addr += gr[index]
+            return store(addr, gr[r], 8)
+
+        return run
+
+    def _spec_agsi(self, insn, address):
+        mem, imm = insn.operands
+        gr, disp, base, index = self._capture_ea(mem)
+        add_to_storage = self.engine.add_to_storage
+        psw = self.regs.psw
+
+        def run(ia, _insn):
+            addr = disp
+            if base is not None:
+                addr += gr[base]
+            if index is not None:
+                addr += gr[index]
+            new_value, latency = add_to_storage(addr, imm, 8)
+            if new_value == 0:
+                psw.condition_code = 0
+            elif new_value >> 63:
+                psw.condition_code = 1
+            else:
+                psw.condition_code = 2
+            return latency
+
+        return run
+
+    def _spec_csg(self, insn, address):
+        r1, r3, mem = insn.operands
+        gr, disp, base, index = self._capture_ea(mem)
+        compare_and_swap = self.engine.compare_and_swap
+        psw = self.regs.psw
+
+        def run(ia, _insn):
+            addr = disp
+            if base is not None:
+                addr += gr[base]
+            if index is not None:
+                addr += gr[index]
+            swapped, observed, latency = compare_and_swap(
+                addr, gr[r1], gr[r3], 8
+            )
+            if swapped:
+                psw.condition_code = 0
+            else:
+                gr[r1] = observed
+                psw.condition_code = 1
+            return latency
+
+        return run
+
+    def _spec_lhi(self, insn, address):
+        r, imm = insn.operands
+        gr = self.regs.gr
+        masked = imm & MASK64
+
+        def run(ia, _insn):
+            gr[r] = masked
+            return 0
+
+        return run
+
+    def _spec_ahi(self, insn, address):
+        r, imm = insn.operands
+        gr = self.regs.gr
+        psw = self.regs.psw
+
+        def run(ia, _insn):
+            value = gr[r]
+            result = (value - (1 << 64) if value >> 63 else value) + imm
+            gr[r] = result & MASK64
+            if result == 0:
+                psw.condition_code = 0
+            elif result < 0:
+                psw.condition_code = 1
+            else:
+                psw.condition_code = 2
+            return 0
+
+        return run
+
+    def _spec_brct(self, insn, address):
+        tup = self._branch_tuple.get(address)
+        if tup is None:
+            return None
+        (r,) = insn.operands
+        gr = self.regs.gr
+
+        def run(ia, _insn):
+            value = (gr[r] - 1) & MASK64
+            gr[r] = value
+            if value != 0:
+                return tup
+            return 0
+
+        return run
+
+    def _spec_brc(self, insn, address):
+        tup = self._branch_tuple.get(address)
+        if tup is None:
+            return None
+        (mask,) = insn.operands
+        psw = self.regs.psw
+
+        def run(ia, _insn):
+            if mask & (8 >> psw.condition_code):
+                return tup
+            return 0
+
+        return run
+
+    def _spec_j(self, insn, address):
+        tup = self._branch_tuple.get(address)
+        if tup is None:
+            return None
+
+        def run(ia, _insn):
+            return tup
+
+        return run
+
+    _SPECIALIZE: Dict[str, Callable] = {
+        "LG": _spec_lg,
+        "LTG": _spec_ltg,
+        "STG": _spec_stg,
+        "AGSI": _spec_agsi,
+        "CSG": _spec_csg,
+        "LHI": _spec_lhi,
+        "AHI": _spec_ahi,
+        "BRCT": _spec_brct,
+        "BRC": _spec_brc,
+        "J": _spec_j,
+    }
 
     _DISPATCH: Dict[str, Callable] = {
         "LHI": _op_lhi,

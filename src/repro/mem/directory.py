@@ -16,17 +16,32 @@ from ..params import CacheGeometry
 from .line import DirectoryEntry, Ownership
 
 
+def _lru_key(entry: DirectoryEntry) -> int:
+    return entry.lru
+
+
 class SetAssociativeDirectory:
     """Tag directory: ``rows`` congruence classes x ``ways`` entries."""
+
+    __slots__ = ("geometry", "name", "ways", "_rows", "_entries", "_clock",
+                 "_row_shift", "_row_mask")
 
     def __init__(self, geometry: CacheGeometry, name: str = "cache") -> None:
         self.geometry = geometry
         self.name = name
+        self.ways = geometry.ways
         # Rows materialise lazily: large shared caches (L3/L4) have tens
         # of thousands of congruence classes, almost all of which stay
         # empty in any given run.
         self._rows: Dict[int, Dict[int, DirectoryEntry]] = {}
+        #: Flat line -> entry index mirroring ``_rows`` so the dominant
+        #: operation (lookup) is a single dict probe.
+        self._entries: Dict[int, DirectoryEntry] = {}
         self._clock = 0
+        # line_size and rows are powers of two, so the congruence class is
+        # a shift-and-mask of the line address.
+        self._row_shift = geometry.line_size.bit_length() - 1
+        self._row_mask = geometry.rows - 1
 
     def _row(self, index: int) -> Dict[int, DirectoryEntry]:
         row = self._rows.get(index)
@@ -38,15 +53,14 @@ class SetAssociativeDirectory:
     # -- basic queries ----------------------------------------------------
 
     def row_of(self, line: int) -> int:
-        return self.geometry.row_of(line)
+        return (line >> self._row_shift) & self._row_mask
 
     def lookup(self, line: int) -> Optional[DirectoryEntry]:
         """Find the entry for ``line``, without touching LRU state."""
-        row = self._rows.get(self.row_of(line))
-        return row.get(line) if row is not None else None
+        return self._entries.get(line)
 
     def contains(self, line: int) -> bool:
-        return self.lookup(line) is not None
+        return line in self._entries
 
     def touch(self, entry: DirectoryEntry) -> None:
         """Mark ``entry`` most recently used."""
@@ -62,7 +76,7 @@ class SetAssociativeDirectory:
 
     def occupancy(self) -> int:
         """Total number of valid entries (for tests and statistics)."""
-        return sum(len(row) for row in self._rows.values())
+        return len(self._entries)
 
     # -- mutation ---------------------------------------------------------
 
@@ -80,27 +94,36 @@ class SetAssociativeDirectory:
         """
         if state is Ownership.INVALID:
             raise ProtocolError(f"{self.name}: cannot install an invalid line")
-        row = self._row(self.row_of(line))
+        index = (line >> self._row_shift) & self._row_mask
+        row = self._rows.get(index)
+        if row is None:
+            row = {}
+            self._rows[index] = row
         entry = row.get(line)
         if entry is None:
-            if len(row) >= self.geometry.ways:
-                victim = min(row.values(), key=lambda e: e.lru)
+            if len(row) >= self.ways:
+                victim = min(row.values(), key=_lru_key)
                 if evict is not None:
                     evict(victim)
                 # The evict callback may itself have removed entries (e.g.
                 # an abort invalidating tx-dirty lines), so re-check.
-                row.pop(victim.line, None)
+                if row.pop(victim.line, None) is not None:
+                    del self._entries[victim.line]
             entry = DirectoryEntry(line=line, state=state)
             row[line] = entry
+            self._entries[line] = entry
         else:
             entry.state = state
-        self.touch(entry)
+        self._clock += 1
+        entry.lru = self._clock
         return entry
 
     def remove(self, line: int) -> Optional[DirectoryEntry]:
         """Invalidate ``line`` if present; returns the removed entry."""
-        row = self._rows.get(self.row_of(line))
-        return row.pop(line, None) if row is not None else None
+        entry = self._entries.pop(line, None)
+        if entry is not None:
+            del self._rows[(line >> self._row_shift) & self._row_mask][line]
+        return entry
 
     def demote(self, line: int) -> None:
         """Transition ``line`` from exclusive to read-only if present."""
@@ -122,7 +145,9 @@ class SetAssociativeDirectory:
             doomed = [line for line, e in row.items() if predicate(e)]
             for line in doomed:
                 removed.append(row.pop(line))
+                del self._entries[line]
         return removed
 
     def clear(self) -> None:
         self._rows.clear()
+        self._entries.clear()

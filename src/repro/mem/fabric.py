@@ -22,7 +22,6 @@ using :class:`repro.params.Latencies`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import ProtocolError
@@ -32,13 +31,27 @@ from .shared import L3Cache, L4Cache
 from .xi import Xi, XiResponse, XiType
 
 
-@dataclass(frozen=True)
 class FetchOutcome:
-    """Result of one fetch attempt."""
+    """Result of one fetch attempt.
 
-    done: bool
-    latency: int
-    source: str  # "l1", "l2", "intervention", "l3", "l4", "remote", "memory", "reject"
+    A plain ``__slots__`` class (not a dataclass): one is allocated per
+    fetch, which makes construction cost part of the simulator's inner
+    loop.
+    """
+
+    __slots__ = ("done", "latency", "source")
+
+    def __init__(self, done: bool, latency: int, source: str) -> None:
+        self.done = done
+        self.latency = latency
+        # "l1", "l2", "intervention", "l3", "l4", "remote", "memory", "reject"
+        self.source = source
+
+    def __repr__(self) -> str:
+        return (
+            f"FetchOutcome(done={self.done}, latency={self.latency}, "
+            f"source={self.source!r})"
+        )
 
 
 class CpuPort:
@@ -85,6 +98,50 @@ class CoherenceFabric:
         chips = self.topology.chip_of(self.topology.total_cores - 1) + 1
         self.l3s = [L3Cache(params.l3, chip) for chip in range(chips)]
         self.l4s = [L4Cache(params.l4, mcm) for mcm in range(self.topology.mcms)]
+        # Topology is immutable, so distance classifications and the
+        # chip/MCM cache wiring per CPU are precomputed once instead of
+        # re-deriving them on every fetch (they dominate the probe path on
+        # wide machines).
+        topo = self.topology
+        total = topo.total_cores
+        self._chip_of_cpu = [topo.chip_of(c) for c in range(total)]
+        self._mcm_of_cpu = [topo.mcm_of(c) for c in range(total)]
+        self._mcm_of_chip = [
+            topo.mcm_of(chip * topo.cores_per_chip) for chip in range(chips)
+        ]
+        self._l3_by_cpu = [self.l3s[self._chip_of_cpu[c]] for c in range(total)]
+        self._l4_by_cpu = [self.l4s[self._mcm_of_cpu[c]] for c in range(total)]
+        #: Full distance matrices (rank: 0 chip, 1 mcm, 2 remote; and the
+        #: corresponding intervention latency). At most ~120x120 ints.
+        lat_by_rank = (
+            self.lat.on_chip_intervention,
+            self.lat.same_mcm,
+            self.lat.cross_mcm,
+        )
+        self._rank_rows: List[List[int]] = []
+        self._dist_lat_rows: List[List[int]] = []
+        for a in range(total):
+            chip_a = self._chip_of_cpu[a]
+            mcm_a = self._mcm_of_cpu[a]
+            row = [
+                0 if self._chip_of_cpu[b] == chip_a
+                else (1 if self._mcm_of_cpu[b] == mcm_a else 2)
+                for b in range(total)
+            ]
+            self._rank_rows.append(row)
+            self._dist_lat_rows.append([lat_by_rank[r] for r in row])
+        #: Per-CPU L3/L4 install callbacks (avoid per-fetch closures).
+        self._l3_install_cbs = [
+            (lambda c: lambda victim: self._lru_cascade_l3(c, victim))(c)
+            for c in range(total)
+        ]
+        self._l4_install_cbs = [
+            (lambda c: lambda victim: self._lru_cascade_l4(c, victim))(c)
+            for c in range(total)
+        ]
+        #: Per-registered-CPU L1/L2 eviction callbacks (filled in register).
+        self._l1_evict_cbs: List = []
+        self._l2_evict_cbs: List = []
         # statistics
         self.stats_fetches = 0
         self.stats_rejects = 0
@@ -98,6 +155,14 @@ class CoherenceFabric:
         if port.cpu_id >= self.topology.total_cores:
             raise ProtocolError("more CPUs than the topology supports")
         self._ports.append(port)
+        # Pre-bound eviction callbacks, so the install fast path does not
+        # allocate a closure per miss.
+        self._l1_evict_cbs.append(port.note_l1_eviction)
+        self._l2_evict_cbs.append(
+            lambda victim, _port=port: self._evict_from_private(
+                _port, victim.line
+            )
+        )
 
     @property
     def cpu_count(self) -> int:
@@ -122,18 +187,22 @@ class CoherenceFabric:
         """
         self.stats_fetches += 1
         port = self._ports[cpu]
-        info = self.line_info(line)
+        lat = self.lat
         entry = port.l1.directory.lookup(line)
 
         # L1 hit with sufficient ownership.
-        if entry is not None and self._sufficient(entry.state, exclusive):
+        if entry is not None and (
+            not exclusive or entry.state is Ownership.EXCLUSIVE
+        ):
             port.l1.directory.touch(entry)
-            return FetchOutcome(True, self.lat.l1_hit, "l1")
+            return FetchOutcome(True, lat.l1_hit, "l1")
+
+        info = self.line_info(line)
 
         # Read-only upgrade: we own it RO, need exclusive. Other RO owners
         # get (non-rejectable) read-only XIs.
         if exclusive and cpu in info.ro_owners:
-            latency = self.lat.l1_hit if entry is not None else self.lat.l2_hit
+            latency = lat.l1_hit if entry is not None else lat.l2_hit
             latency += self._invalidate_ro_owners(line, info, except_cpu=cpu)
             info.ro_owners.discard(cpu)
             info.ex_owner = cpu
@@ -142,10 +211,12 @@ class CoherenceFabric:
 
         # L2 hit with sufficient ownership: refill the L1.
         l2_entry = port.l2.directory.lookup(line)
-        if l2_entry is not None and self._sufficient(l2_entry.state, exclusive):
+        if l2_entry is not None and (
+            not exclusive or l2_entry.state is Ownership.EXCLUSIVE
+        ):
             port.l2.directory.touch(l2_entry)
             self._install_l1(port, line, l2_entry.state)
-            return FetchOutcome(True, self.lat.l2_hit, "l2")
+            return FetchOutcome(True, lat.l2_hit, "l2")
 
         # Full miss: the line must come from another CPU, a shared cache,
         # or memory. A line still in flight from a previous transfer
@@ -212,45 +283,56 @@ class CoherenceFabric:
         no state is modified.
         """
         port = self._ports[cpu]
+        lat = self.lat
         entry = port.l1.directory.lookup(line)
-        if entry is not None and self._sufficient(entry.state, exclusive):
-            return self.lat.l1_hit
-        if exclusive and cpu in self.line_info(line).ro_owners:
-            base = self.lat.l1_hit if entry is not None else self.lat.l2_hit
-            return base + self.lat.xi_round_trip
-        l2_entry = port.l2.directory.lookup(line)
-        if l2_entry is not None and self._sufficient(l2_entry.state, exclusive):
-            return self.lat.l2_hit
+        if entry is not None and (
+            not exclusive or entry.state is Ownership.EXCLUSIVE
+        ):
+            return lat.l1_hit
         info = self._lines.get(line)
+        if exclusive and info is not None and cpu in info.ro_owners:
+            base = lat.l1_hit if entry is not None else lat.l2_hit
+            return base + lat.xi_round_trip
+        l2_entry = port.l2.directory.lookup(line)
+        if l2_entry is not None and (
+            not exclusive or l2_entry.state is Ownership.EXCLUSIVE
+        ):
+            return lat.l2_hit
         if info is not None and info.ex_owner >= 0 and info.ex_owner != cpu:
-            return self.lat.xi_round_trip + self._distance_latency(
+            return lat.xi_round_trip + self._distance_latency(
                 cpu, info.ex_owner
             )
         latency = self._shared_probe_latency(cpu, line)
         if exclusive and info is not None and info.ro_owners - {cpu}:
-            latency += self.lat.xi_round_trip
+            latency += lat.xi_round_trip
         return latency
 
     def _shared_probe_latency(self, cpu: int, line: int) -> int:
         """Like :meth:`_shared_source_latency` but without LRU touches."""
         info = self._lines.get(line)
-        if info is not None and any(o != cpu for o in info.ro_owners):
-            nearest = min(
-                {"chip": 0, "mcm": 1, "remote": 2}[self.topology.distance(cpu, o)]
-                for o in info.ro_owners
-                if o != cpu
-            )
-            return (
-                self.lat.on_chip_intervention,
-                self.lat.same_mcm,
-                self.lat.cross_mcm,
-            )[nearest]
-        if self._l3_of(cpu).contains(line):
+        if info is not None and info.ro_owners:
+            row = self._rank_rows[cpu]
+            nearest = 3
+            for o in info.ro_owners:
+                if o != cpu:
+                    r = row[o]
+                    if r < nearest:
+                        nearest = r
+                        if r == 0:
+                            break
+            if nearest < 3:
+                return (
+                    self.lat.on_chip_intervention,
+                    self.lat.same_mcm,
+                    self.lat.cross_mcm,
+                )[nearest]
+        if self._l3_by_cpu[cpu].contains(line):
             return self.lat.l3_hit
-        if self._l4_of(cpu).contains(line):
+        if self._l4_by_cpu[cpu].contains(line):
             return self.lat.same_mcm
+        my_mcm = self._mcm_of_cpu[cpu]
         for l4 in self.l4s:
-            if l4.mcm != self.topology.mcm_of(cpu) and l4.contains(line):
+            if l4.mcm != my_mcm and l4.contains(line):
                 return self.lat.cross_mcm
         return self.lat.memory
 
@@ -283,16 +365,14 @@ class CoherenceFabric:
                 entry.state = state
 
     def _install_l1(self, port: CpuPort, line: int, state: Ownership) -> None:
-        def evict(victim) -> None:
-            port.note_l1_eviction(victim)
-
-        port.l1.directory.install(line, state, evict=evict)
+        port.l1.directory.install(
+            line, state, evict=self._l1_evict_cbs[port.cpu_id]
+        )
 
     def _install_l2(self, port: CpuPort, line: int, state: Ownership) -> None:
-        def evict(victim) -> None:
-            self._evict_from_private(port, victim.line)
-
-        port.l2.directory.install(line, state, evict=evict)
+        port.l2.directory.install(
+            line, state, evict=self._l2_evict_cbs[port.cpu_id]
+        )
 
     def _evict_from_private(self, port: CpuPort, line: int) -> None:
         """A line leaves a CPU's L2 (and, by inclusivity, its L1)."""
@@ -311,19 +391,19 @@ class CoherenceFabric:
     # -- shared caches ------------------------------------------------------------
 
     def _l3_of(self, cpu: int) -> L3Cache:
-        return self.l3s[self.topology.chip_of(cpu)]
+        return self._l3_by_cpu[cpu]
 
     def _l4_of(self, cpu: int) -> L4Cache:
-        return self.l4s[self.topology.mcm_of(cpu)]
+        return self._l4_by_cpu[cpu]
 
     def _install_shared(self, cpu: int, line: int) -> None:
-        self._l3_of(cpu).install(line, lambda victim: self._lru_cascade_l3(cpu, victim))
-        self._l4_of(cpu).install(line, lambda victim: self._lru_cascade_l4(cpu, victim))
+        self._l3_by_cpu[cpu].install(line, self._l3_install_cbs[cpu])
+        self._l4_by_cpu[cpu].install(line, self._l4_install_cbs[cpu])
 
     def _purge_other_shared(self, cpu: int, line: int) -> None:
         """On exclusive acquisition, stale copies leave other L3s/L4s."""
-        my_chip = self.topology.chip_of(cpu)
-        my_mcm = self.topology.mcm_of(cpu)
+        my_chip = self._chip_of_cpu[cpu]
+        my_mcm = self._mcm_of_cpu[cpu]
         for l3 in self.l3s:
             if l3.chip != my_chip:
                 l3.remove(line)
@@ -333,16 +413,19 @@ class CoherenceFabric:
 
     def _lru_cascade_l3(self, cpu: int, victim: int) -> None:
         """An L3 eviction sends LRU XIs to the cores under that chip."""
-        chip = self.topology.chip_of(cpu)
-        self._lru_xi_below(victim, lambda c: self.topology.chip_of(c) == chip)
+        chip = self._chip_of_cpu[cpu]
+        chip_of = self._chip_of_cpu
+        self._lru_xi_below(victim, lambda c: chip_of[c] == chip)
 
     def _lru_cascade_l4(self, cpu: int, victim: int) -> None:
         """An L4 eviction empties the MCM: L3s below and their cores."""
-        mcm = self.topology.mcm_of(cpu)
+        mcm = self._mcm_of_cpu[cpu]
+        mcm_of_chip = self._mcm_of_chip
         for l3 in self.l3s:
-            if self.topology.mcm_of(l3.chip * self.topology.cores_per_chip) == mcm:
+            if mcm_of_chip[l3.chip] == mcm:
                 l3.remove(victim)
-        self._lru_xi_below(victim, lambda c: self.topology.mcm_of(c) == mcm)
+        mcm_of = self._mcm_of_cpu
+        self._lru_xi_below(victim, lambda c: mcm_of[c] == mcm)
 
     def _lru_xi_below(self, line: int, in_scope) -> None:
         info = self._lines.get(line)
@@ -359,13 +442,12 @@ class CoherenceFabric:
 
     # -- latency classification -------------------------------------------------
 
+    def _distance_rank(self, cpu: int, other: int) -> int:
+        """0 = same chip, 1 = same MCM, 2 = remote MCM."""
+        return self._rank_rows[cpu][other]
+
     def _distance_latency(self, cpu: int, other: int) -> int:
-        distance = self.topology.distance(cpu, other)
-        if distance == "chip":
-            return self.lat.on_chip_intervention
-        if distance == "mcm":
-            return self.lat.same_mcm
-        return self.lat.cross_mcm
+        return self._dist_lat_rows[cpu][other]
 
     def _shared_source_latency(self, cpu: int, line: int) -> int:
         name = self._shared_source_name(cpu, line)
@@ -381,26 +463,24 @@ class CoherenceFabric:
         info = self._lines.get(line)
         if info is not None and info.ro_owners:
             # Another core holds it read-only; the nearest copy sources it.
-            nearest = min(
-                (o for o in info.ro_owners if o != cpu),
-                key=lambda o: {"chip": 0, "mcm": 1, "remote": 2}[
-                    self.topology.distance(cpu, o)
-                ],
-                default=None,
-            )
-            if nearest is not None:
-                distance = self.topology.distance(cpu, nearest)
-                if distance == "chip":
-                    return "intervention"
-                if distance == "mcm":
-                    return "l4"
-                return "remote"
-        if self._l3_of(cpu).touch(line):
+            row = self._rank_rows[cpu]
+            nearest = 3
+            for o in info.ro_owners:
+                if o != cpu:
+                    r = row[o]
+                    if r < nearest:
+                        nearest = r
+                        if r == 0:
+                            break
+            if nearest < 3:
+                return ("intervention", "l4", "remote")[nearest]
+        if self._l3_by_cpu[cpu].touch(line):
             return "l3"
-        if self._l4_of(cpu).touch(line):
+        if self._l4_by_cpu[cpu].touch(line):
             return "l4"
+        my_mcm = self._mcm_of_cpu[cpu]
         for l4 in self.l4s:
-            if l4.mcm != self.topology.mcm_of(cpu) and l4.contains(line):
+            if l4.mcm != my_mcm and l4.contains(line):
                 return "remote"
         return "memory"
 

@@ -27,6 +27,9 @@ from .line import DirectoryEntry, Ownership
 class L1Cache:
     """Private L1 directory plus the transactional LRU-extension vector."""
 
+    __slots__ = ("directory", "lru_extension_enabled", "_extension",
+                 "_tx_marked", "footprint_lost")
+
     def __init__(
         self,
         geometry: CacheGeometry = L1_GEOMETRY,
@@ -34,7 +37,13 @@ class L1Cache:
     ) -> None:
         self.directory = SetAssociativeDirectory(geometry, name="L1")
         self.lru_extension_enabled = lru_extension_enabled
-        self._extension: List[bool] = [False] * geometry.rows
+        #: Rows with a valid LRU-extension bit (sparse: almost always empty).
+        self._extension: set = set()
+        #: Entries whose tx bits were set since the last reset, so the
+        #: TBEGIN/TEND reset touches only those instead of sweeping the
+        #: whole directory. Entries evicted in the meantime are harmless
+        #: (clearing bits on a dead entry is a no-op).
+        self._tx_marked: List[DirectoryEntry] = []
         #: Set when a tx-read line is evicted while the extension is
         #: disabled — the footprint can no longer be tracked at all.
         self.footprint_lost = False
@@ -46,9 +55,12 @@ class L1Cache:
 
         "The tx-read bits are reset when a new outermost TBEGIN is decoded."
         """
-        for entry in self.directory.entries():
-            entry.clear_tx()
-        self._extension = [False] * self.directory.geometry.rows
+        if self._tx_marked:
+            for entry in self._tx_marked:
+                entry.tx_read = False
+                entry.tx_dirty = False
+            self._tx_marked = []
+        self._extension.clear()
         self.footprint_lost = False
 
     def end_transaction(self) -> None:
@@ -62,7 +74,14 @@ class L1Cache:
         Returns the invalidated entries so the caller can fix up fabric
         ownership.
         """
-        killed = self.directory.invalidate_where(lambda e: e.tx_dirty)
+        killed: List[DirectoryEntry] = []
+        for entry in self._tx_marked:
+            # The marked entry may have been evicted (and possibly replaced
+            # by a fresh entry for the same line) since it was marked; only
+            # remove it if it is still the live directory entry.
+            if entry.tx_dirty and self.directory.lookup(entry.line) is entry:
+                self.directory.remove(entry.line)
+                killed.append(entry)
         self.begin_transaction()
         return killed
 
@@ -70,13 +89,17 @@ class L1Cache:
 
     def mark_tx_read(self, line: int) -> None:
         entry = self.directory.lookup(line)
-        if entry is not None:
+        if entry is not None and not entry.tx_read:
             entry.tx_read = True
+            if not entry.tx_dirty:
+                self._tx_marked.append(entry)
 
     def mark_tx_dirty(self, line: int) -> None:
         entry = self.directory.lookup(line)
-        if entry is not None:
+        if entry is not None and not entry.tx_dirty:
             entry.tx_dirty = True
+            if not entry.tx_read:
+                self._tx_marked.append(entry)
 
     # -- eviction ----------------------------------------------------------
 
@@ -92,7 +115,7 @@ class L1Cache:
         if not victim.tx_read:
             return
         if self.lru_extension_enabled:
-            self._extension[self.directory.row_of(victim.line)] = True
+            self._extension.add(self.directory.row_of(victim.line))
         else:
             self.footprint_lost = True
 
@@ -100,10 +123,9 @@ class L1Cache:
 
     def extension_hit(self, line: int) -> bool:
         """True if an XI to ``line`` lands on a valid extension row."""
-        return (
-            self.lru_extension_enabled
-            and self._extension[self.directory.row_of(line)]
-        )
+        if not self._extension:
+            return False
+        return self.directory.row_of(line) in self._extension
 
     def read_set_conflict(self, line: int) -> bool:
         """Would an invalidating XI to ``line`` violate the read set?
@@ -125,7 +147,7 @@ class L1Cache:
 
     def extension_rows(self) -> int:
         """Number of rows currently marked in the extension vector."""
-        return sum(self._extension)
+        return len(self._extension)
 
     def lookup(self, line: int) -> Optional[DirectoryEntry]:
         return self.directory.lookup(line)

@@ -14,7 +14,6 @@ were moved into logic latches and supplemented with two bits per line:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 
 
 class Ownership(enum.Enum):
@@ -33,7 +32,6 @@ class Ownership(enum.Enum):
         return self is not Ownership.INVALID
 
 
-@dataclass
 class DirectoryEntry:
     """One way of one congruence class in a cache directory.
 
@@ -41,11 +39,28 @@ class DirectoryEntry:
     directory; the way with the smallest stamp in a row is the LRU victim.
     """
 
-    line: int
-    state: Ownership = Ownership.READ_ONLY
-    tx_read: bool = False
-    tx_dirty: bool = False
-    lru: int = 0
+    __slots__ = ("line", "state", "tx_read", "tx_dirty", "lru")
+
+    def __init__(
+        self,
+        line: int,
+        state: Ownership = Ownership.READ_ONLY,
+        tx_read: bool = False,
+        tx_dirty: bool = False,
+        lru: int = 0,
+    ) -> None:
+        self.line = line
+        self.state = state
+        self.tx_read = tx_read
+        self.tx_dirty = tx_dirty
+        self.lru = lru
+
+    def __repr__(self) -> str:
+        return (
+            f"DirectoryEntry(line={self.line:#x}, state={self.state}, "
+            f"tx_read={self.tx_read}, tx_dirty={self.tx_dirty}, "
+            f"lru={self.lru})"
+        )
 
     def clear_tx(self) -> None:
         """Drop transactional marks (outermost TBEGIN decode / TEND)."""
@@ -53,16 +68,30 @@ class DirectoryEntry:
         self.tx_dirty = False
 
 
-@dataclass
 class LineInfo:
     """Fabric-level bookkeeping for one line address (who owns it where)."""
 
-    ro_owners: set = field(default_factory=set)
-    ex_owner: int = -1  # CPU id, or -1 when nobody owns it exclusively
-    #: Simulated time until which the line is in flight on the
-    #: interconnect; a line cannot change hands faster than one transfer
-    #: per transfer latency.
-    busy_until: int = 0
+    __slots__ = ("ro_owners", "ex_owner", "busy_until")
+
+    def __init__(
+        self,
+        ro_owners: set = None,
+        ex_owner: int = -1,
+        busy_until: int = 0,
+    ) -> None:
+        self.ro_owners = set() if ro_owners is None else ro_owners
+        #: CPU id, or -1 when nobody owns it exclusively.
+        self.ex_owner = ex_owner
+        #: Simulated time until which the line is in flight on the
+        #: interconnect; a line cannot change hands faster than one
+        #: transfer per transfer latency.
+        self.busy_until = busy_until
+
+    def __repr__(self) -> str:
+        return (
+            f"LineInfo(ro_owners={self.ro_owners}, "
+            f"ex_owner={self.ex_owner}, busy_until={self.busy_until})"
+        )
 
     def owners(self) -> set:
         """All CPUs holding the line in any valid state."""

@@ -12,6 +12,7 @@ matching z/Architecture's big-endian layout.
 
 from __future__ import annotations
 
+from itertools import repeat
 from typing import Dict, Iterable, Tuple
 
 from ..errors import ConfigurationError
@@ -33,8 +34,10 @@ class MainMemory:
         """Read ``length`` raw bytes starting at ``addr``."""
         if length < 0:
             raise ConfigurationError("length must be non-negative")
-        get = self._bytes.get
-        return bytes(get(a, 0) for a in range(addr, addr + length))
+        # map() keeps the per-byte loop in C.
+        return bytes(
+            map(self._bytes.get, range(addr, addr + length), repeat(0, length))
+        )
 
     def write(self, addr: int, data: bytes) -> None:
         """Write raw bytes starting at ``addr``."""

@@ -41,6 +41,8 @@ class PageTable:
 
     def first_missing(self, addr: int, length: int) -> int:
         """First non-present byte address of an access, or -1 if none."""
+        if not self._missing:
+            return -1
         first = page_address(addr)
         last = page_address(addr + max(length, 1) - 1)
         for page in range(first, last + PAGE_SIZE, PAGE_SIZE):

@@ -26,7 +26,6 @@ Modelled faithfully from the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..errors import ProtocolError
@@ -41,15 +40,32 @@ def block_address(addr: int) -> int:
     return addr & ~(BLOCK_SIZE - 1)
 
 
-@dataclass
 class StoreCacheEntry:
     """One 128-byte gathering entry with byte-precise valid bits."""
 
-    block: int
-    bytes_: Dict[int, int] = field(default_factory=dict)  # offset -> value
-    tx: bool = False
-    closed: bool = False
-    ntstg_doublewords: Set[int] = field(default_factory=set)  # block offsets
+    __slots__ = ("block", "bytes_", "tx", "closed", "ntstg_doublewords")
+
+    def __init__(
+        self,
+        block: int,
+        bytes_: Dict[int, int] = None,  # offset -> value
+        tx: bool = False,
+        closed: bool = False,
+        ntstg_doublewords: Set[int] = None,  # block offsets
+    ) -> None:
+        self.block = block
+        self.bytes_ = {} if bytes_ is None else bytes_
+        self.tx = tx
+        self.closed = closed
+        self.ntstg_doublewords = (
+            set() if ntstg_doublewords is None else ntstg_doublewords
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"StoreCacheEntry(block={self.block:#x}, tx={self.tx}, "
+            f"closed={self.closed}, valid_bytes={len(self.bytes_)})"
+        )
 
     def gather(self, addr: int, data: bytes, ntstg: bool = False) -> None:
         offset = addr - self.block
@@ -97,6 +113,10 @@ class StoreCacheOverflow(Exception):
 class GatheringStoreCache:
     """The 64-entry gathering store cache of one CPU."""
 
+    __slots__ = ("capacity", "drain_threshold", "_queue", "_by_block",
+                 "_drained", "stats_gathered", "stats_allocated",
+                 "stats_drained_entries")
+
     def __init__(
         self,
         entries: int = 64,
@@ -107,6 +127,9 @@ class GatheringStoreCache:
         self.capacity = entries
         self.drain_threshold = drain_threshold
         self._queue: List[StoreCacheEntry] = []  # oldest first
+        #: Block address -> entries for that block, in queue (age) order.
+        #: Pure index over ``_queue`` for O(1) load-forwarding misses.
+        self._by_block: Dict[int, List[StoreCacheEntry]] = {}
         #: Writes drained since the last ``take_drained`` call, in order.
         self._drained: List[Tuple[int, int]] = []
         #: Statistics.
@@ -161,6 +184,7 @@ class GatheringStoreCache:
                 drained += self._make_room(tx)
             entry = StoreCacheEntry(block=block, tx=tx)
             self._queue.append(entry)
+            self._by_block.setdefault(block, []).append(entry)
             self.stats_allocated += 1
         else:
             self.stats_gathered += 1
@@ -175,10 +199,20 @@ class GatheringStoreCache:
         Transactional stores gather only into open transactional entries;
         non-transactional stores only into open non-transactional ones.
         """
-        for entry in reversed(self._queue):
-            if entry.block == block and not entry.closed and entry.tx == tx:
-                return entry
+        candidates = self._by_block.get(block)
+        if candidates:
+            for entry in reversed(candidates):
+                if not entry.closed and entry.tx == tx:
+                    return entry
         return None
+
+    def _unindex(self, entry: StoreCacheEntry) -> None:
+        """Drop ``entry`` from the block index (it left the queue)."""
+        candidates = self._by_block.get(entry.block)
+        if candidates is not None:
+            candidates.remove(entry)
+            if not candidates:
+                del self._by_block[entry.block]
 
     def _make_room(self, tx: bool) -> int:
         """Free one entry for a new allocation."""
@@ -196,6 +230,7 @@ class GatheringStoreCache:
             if not entry.tx:
                 self._drained.extend(entry.writes())
                 del self._queue[i]
+                self._unindex(entry)
                 self.stats_drained_entries += 1
                 return 1
         return 0
@@ -204,13 +239,24 @@ class GatheringStoreCache:
 
     def forward_byte(self, byte_addr: int) -> Optional[int]:
         """Youngest buffered value for ``byte_addr``, or None."""
-        block = block_address(byte_addr)
-        for entry in reversed(self._queue):
-            if entry.block == block:
-                value = entry.byte_at(byte_addr)
+        candidates = self._by_block.get(byte_addr & ~(BLOCK_SIZE - 1))
+        if candidates:
+            offset = byte_addr - candidates[0].block
+            for entry in reversed(candidates):
+                value = entry.bytes_.get(offset)
                 if value is not None:
                     return value
         return None
+
+    def overlaps_range(self, addr: int, end: int) -> bool:
+        """True if any buffered entry could hold a byte of [addr, end)."""
+        by_block = self._by_block
+        block = addr & ~(BLOCK_SIZE - 1)
+        while block < end:
+            if block in by_block:
+                return True
+            block += BLOCK_SIZE
+        return False
 
     # -- transactional lifecycle --------------------------------------------
 
@@ -247,6 +293,8 @@ class GatheringStoreCache:
                 dropped_lines.add(entry.line())
                 if entry.strip_to_ntstg():
                     kept.append(entry)
+                else:
+                    self._unindex(entry)
             else:
                 kept.append(entry)
         self._queue = kept
@@ -276,6 +324,7 @@ class GatheringStoreCache:
         for entry in self._queue:
             if entry.line() == line and not entry.tx:
                 self._drained.extend(entry.writes())
+                self._unindex(entry)
                 self.stats_drained_entries += 1
                 drained += 1
             else:

@@ -16,20 +16,28 @@ already completed"), and (iii) the XI-reject condition for queued stores.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Iterator, List, Optional
 
 from .address import line_address
 
 
-@dataclass
 class StoreQueueEntry:
     """One pending store: ``length`` bytes of ``data`` at ``addr``."""
 
-    addr: int
-    data: bytes
-    tx: bool = False
-    ntstg: bool = False
+    __slots__ = ("addr", "data", "tx", "ntstg")
+
+    def __init__(self, addr: int, data: bytes, tx: bool = False,
+                 ntstg: bool = False) -> None:
+        self.addr = addr
+        self.data = data
+        self.tx = tx
+        self.ntstg = ntstg
+
+    def __repr__(self) -> str:
+        return (
+            f"StoreQueueEntry(addr={self.addr:#x}, data={self.data!r}, "
+            f"tx={self.tx}, ntstg={self.ntstg})"
+        )
 
     @property
     def length(self) -> int:

@@ -129,7 +129,10 @@ class Machine:
         if not self.drivers:
             raise ConfigurationError("no CPUs attached to the machine")
         self.scheduler = Scheduler(self.drivers)
-        self.scheduler.pre_step = self._inject_interrupts
+        # The hook is a per-step no-op without interrupt pressure — leave
+        # it unset so the scheduler's inner loop skips it entirely.
+        if self.external_interrupt_interval:
+            self.scheduler.pre_step = self._inject_interrupts
         self.fabric.clock = lambda: self.scheduler.now
         cycles = self.scheduler.run(max_cycles=max_cycles)
         for engine in self.engines:

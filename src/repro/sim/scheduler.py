@@ -72,41 +72,62 @@ class Scheduler:
 
         Returns the final simulated time.
         """
-        while self._heap or self._deferred:
-            if not self._heap:
+        heap = self._heap
+        drivers = self.drivers
+        deferred = self._deferred
+        # ``_solo_waiters`` is only ever mutated in place (add/discard),
+        # so a local alias stays live across ``_solo_index`` calls.
+        solo_waiters = self._solo_waiters
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        pre_step = self.pre_step
+        limit = max_cycles
+        while heap or deferred:
+            if not heap:
                 self._flush_deferred()
                 continue
-            time, _, index = heapq.heappop(self._heap)
-            driver = self.drivers[index]
+            time, _, index = heappop(heap)
+            driver = drivers[index]
             if driver.done:
                 continue
-            if max_cycles is not None and time > max_cycles:
-                self.now = max_cycles
+            if limit is not None and time > limit:
+                self.now = limit
                 return self.now
-            solo = self._solo_index()
-            if solo != self._stop_applied_for:
-                self._apply_broadcast_stop(solo)
-                self._stop_applied_for = solo
-            if solo is not None and index != solo:
-                self._deferred.append((time, index))
-                continue
-            self.now = max(self.now, time)
-            if self.pre_step is not None:
-                self.pre_step(index, self.now)
+            # The solo-token bookkeeping only matters while some CPU has
+            # (or recently had) a broadcast-stop outstanding; the common
+            # case skips it entirely.
+            if solo_waiters or self._stop_applied_for != "idle":
+                solo = self._solo_index()
+                if solo is None:
+                    if self._stop_applied_for != "idle":
+                        self._apply_broadcast_stop(None)
+                        self._stop_applied_for = "idle"
+                elif solo != self._stop_applied_for:
+                    self._apply_broadcast_stop(solo)
+                    self._stop_applied_for = solo
+                if solo is not None and index != solo:
+                    deferred.append((time, index))
+                    continue
+            if time > self.now:
+                self.now = time
+            if pre_step is not None:
+                pre_step(index, self.now)
             try:
                 latency = driver.step()
             except FetchRetry as retry:
                 latency = retry.delay
-            end = time + max(latency, 0)
+            end = time + latency if latency > 0 else time
             if end > self._horizon:
                 self._horizon = end
             if not driver.done:
-                self._push(end, index)
-            if driver.engine.solo_requested and not driver.done:
-                self._solo_waiters.add(index)
-            if self._deferred and self._solo_index() is None:
+                self._seq += 1
+                heappush(heap, (end, self._seq, index))
+                if driver.engine.solo_requested:
+                    solo_waiters.add(index)
+            if deferred and self._solo_index() is None:
                 self._flush_deferred()
-        self.now = max(self.now, self._horizon)
+        if self._horizon > self.now:
+            self.now = self._horizon
         return self.now
 
     def _apply_broadcast_stop(self, solo) -> None:
@@ -122,6 +143,7 @@ class Scheduler:
             )
 
     def _flush_deferred(self) -> None:
-        deferred, self._deferred = self._deferred, []
-        for time, index in deferred:
+        # Cleared in place: ``run`` holds a reference to the list.
+        for time, index in self._deferred:
             self._push(max(time, self.now), index)
+        self._deferred.clear()

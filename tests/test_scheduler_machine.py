@@ -97,6 +97,96 @@ class TestScheduler:
         # After the run nobody is stopped any more.
         assert not b.engine.stopped_by_broadcast
 
+    def test_fetch_retry_backs_off_by_delay(self):
+        # The retried step resumes exactly ``delay`` later: the second
+        # (successful) step lands at t=25, then runs for 5 cycles.
+        driver = FakeDriver([FetchRetry(25), 5])
+        scheduler = Scheduler([driver])
+        final = scheduler.run()
+        assert len(driver.steps) == 2
+        assert final == 30
+
+    def test_fetch_retry_lets_other_cpus_run_during_backoff(self):
+        # While one CPU waits out a stiff-armed fetch, the others keep
+        # executing in simulated-time order.
+        blocked = FakeDriver([FetchRetry(100), 1])
+        runner = FakeDriver([10, 10, 10])
+        order = []
+        blocked.step = self._traced(blocked, "blocked", order)
+        runner.step = self._traced(runner, "runner", order)
+        Scheduler([blocked, runner]).run()
+        assert order == ["blocked", "runner", "runner", "runner", "blocked"]
+
+    @staticmethod
+    def _traced(driver, name, order):
+        orig = driver.step
+
+        def stepper():
+            order.append(name)
+            return orig()
+
+        return stepper
+
+    def test_deferred_queue_flushed_when_solo_releases(self):
+        # b's event is deferred while a holds the broadcast-stop token;
+        # the moment a releases it, the deferred queue flushes and b
+        # finishes. The token takes effect after a's *first* step (solo
+        # requests are observed post-step), so b sees stopped=True at
+        # a's second step and stopped=False again after the release.
+        a = FakeDriver([1, 1, 1])
+        b = FakeDriver([1, 1])
+        a.engine.solo_requested = True
+        seen_stopped = []
+        orig = a.step
+
+        def solo_stepper():
+            seen_stopped.append(b.engine.stopped_by_broadcast)
+            if len(seen_stopped) == 2:
+                a.engine.solo_requested = False
+            return orig()
+
+        a.step = solo_stepper
+        scheduler = Scheduler([a, b])
+        scheduler.run()
+        assert a.done and b.done
+        assert len(b.steps) == 2
+        assert seen_stopped == [False, True, False]
+        assert not scheduler._deferred
+        assert not b.engine.stopped_by_broadcast
+
+    def test_deferred_queue_flushed_when_solo_driver_finishes(self):
+        # The solo CPU runs to completion without ever releasing the
+        # token; the deferred CPUs must still be flushed (the post-step
+        # check notices the solo driver is done) and run to completion.
+        a = FakeDriver([1, 1])
+        b = FakeDriver([1, 1, 1])
+        c = FakeDriver([1])
+        a.engine.solo_requested = True
+        scheduler = Scheduler([a, b, c])
+        scheduler.run()
+        assert a.done and b.done and c.done
+        assert len(b.steps) == 3 and len(c.steps) == 1
+        assert not scheduler._deferred
+
+    def test_deferred_events_not_replayed_in_the_past(self):
+        # Deferred events flush at max(original time, now): b was queued
+        # at t=0 but must resume at the solo's release point (t=10, when
+        # a's final step is dispatched), never back at t=0.
+        a = FakeDriver([10, 10])
+        b = FakeDriver([1])
+        a.engine.solo_requested = True
+        b_times = []
+        orig = b.step
+
+        def timed_step():
+            b_times.append(scheduler.now)
+            return orig()
+
+        b.step = timed_step
+        scheduler = Scheduler([a, b])
+        scheduler.run()
+        assert b_times == [10]
+
 
 class TestMachine:
     def test_run_without_cpus_rejected(self):
