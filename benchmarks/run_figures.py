@@ -10,9 +10,16 @@ knobs preserve bit-identical results versus a serial, uncached run.
 Run with::
 
     python benchmarks/run_figures.py [--quick] [--workers N] [--no-cache]
+                                     [--metrics] [--metrics-out FILE]
 
 Each panel prints its own wall time; any panel failure is reported and
 turns the final exit status non-zero instead of killing the run mid-way.
+
+``--metrics`` attaches the :mod:`repro.sim.metrics` registry to every
+simulation point (identical architected results, slower wall clock),
+prints an aggregate abort-attribution table, and writes one JSONL record
+per point plus a final aggregate record to ``--metrics-out``
+(default ``metrics.jsonl``; see EXPERIMENTS.md for the schema).
 """
 
 from __future__ import annotations
@@ -36,7 +43,12 @@ from repro.bench.parallel import (
     parallel_sweep,
     run_tasks,
 )
-from repro.bench.report import render_chart, series_from_points
+from repro.bench.report import (
+    render_abort_attribution,
+    render_chart,
+    series_from_points,
+)
+from repro.sim.metrics import merge_summaries, write_jsonl
 from repro.workloads.hashtable import HashtableExperiment
 from repro.workloads.queue import QueueExperiment
 
@@ -58,14 +70,35 @@ def main() -> int:
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore and don't write the on-disk result "
                              "cache")
+    parser.add_argument("--metrics", action="store_true",
+                        help="collect abort-attribution metrics for every "
+                             "simulation point and write them as JSONL")
+    parser.add_argument("--metrics-out", default="metrics.jsonl",
+                        metavar="FILE",
+                        help="JSONL output path for --metrics "
+                             "(default: metrics.jsonl)")
     args = parser.parse_args()
 
     grid = QUICK_CPU_GRID if args.quick else DEFAULT_CPU_GRID
     iters = 15 if args.quick else 25
     workers = max(1, args.workers)
     cache = None if args.no_cache else ResultCache(default_cache_root())
+    use_metrics = args.metrics
+    #: JSONL records in collection order (deterministic: panels run in a
+    #: fixed order and every executor preserves submission order).
+    metrics_records = []
     failures = []
     t0 = time.time()
+
+    def note_metrics(panel_title, label, summary):
+        if summary is None:
+            return
+        metrics_records.append({
+            "record": "run",
+            "panel": panel_title,
+            "point": label,
+            "summary": summary,
+        })
 
     def panel(title, fn):
         banner(title)
@@ -81,7 +114,10 @@ def main() -> int:
     def sweep_panel(schemes, pool, n_vars, title="", chart=False):
         points = parallel_sweep(schemes, grid, pool, n_vars,
                                 iterations=iters, workers=workers,
-                                cache=cache)
+                                cache=cache, metrics=use_metrics)
+        for p in points:
+            note_metrics(title or f"pool {pool} vars {n_vars}",
+                         f"{p.scheme}/{p.n_cpus}cpu", p.metrics)
         print(format_sweep(points, title))
         if chart:
             print()
@@ -111,7 +147,13 @@ def main() -> int:
                           HashtableExperiment(n, elide=False, operations=50)))
             tasks.append(("hashtable",
                           HashtableExperiment(n, elide=True, operations=50)))
-        results = run_tasks(tasks, workers=workers, cache=cache)
+        results = run_tasks(tasks, workers=workers, cache=cache,
+                            metrics=use_metrics)
+        for (_, experiment), result in zip(tasks, results):
+            note_metrics("fig5e",
+                         f"hashtable/{experiment.n_threads}thr/"
+                         f"{'elide' if experiment.elide else 'lock'}",
+                         result.metrics)
         print(f"{'threads':>8} {'locks':>10} {'transactions':>13}")
         for i, n in enumerate(threads):
             locked, elided = results[2 * i], results[2 * i + 1]
@@ -144,7 +186,11 @@ def main() -> int:
             ("queue", QueueExperiment(4, use_tx=False, operations=40)),
             ("queue", QueueExperiment(4, use_tx=True, operations=40)),
         ]
-        results = run_tasks(tasks, workers=workers, cache=cache)
+        results = run_tasks(tasks, workers=workers, cache=cache,
+                            metrics=use_metrics)
+        for (kind, experiment), result in zip(tasks, results):
+            note_metrics("scalars", f"{kind}/{experiment}",
+                         getattr(result, "metrics", None))
         lock = results[0].mean_update_cycles
         tbegin = results[1].mean_update_cycles
         tbeginc = results[2].mean_update_cycles
@@ -166,6 +212,24 @@ def main() -> int:
     panel("Figure 5(e): lock-elided hashtable", fig5e)
     panel("Figure 5(f): LRU extension vs fetch footprint", fig5f)
     panel("Scalar results", scalars)
+
+    if use_metrics:
+        banner("Abort-attribution metrics (aggregate of all points)")
+        aggregate = merge_summaries(
+            record["summary"] for record in metrics_records
+        )
+        print(render_abort_attribution(aggregate))
+        try:
+            with open(args.metrics_out, "w") as stream:
+                written = write_jsonl(
+                    metrics_records
+                    + [{"record": "aggregate", "summary": aggregate}],
+                    stream,
+                )
+            print(f"wrote {written} JSONL records to {args.metrics_out}")
+        except OSError as exc:
+            failures.append("metrics-out")
+            print(f"FAILED writing {args.metrics_out}: {exc}")
 
     print()
     print(f"total runtime: {time.time() - t0:.0f}s "

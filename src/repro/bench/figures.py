@@ -8,12 +8,13 @@ CPUs concurrently updating a single variable from a pool of 1 variable".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
 from ..params import MachineParams, ZEC12
 from ..sim.machine import Machine
+from ..sim.metrics import MetricsRegistry
 from ..sim.results import SimResult
 from ..workloads.layout import PoolLayout
 from ..workloads.pool import SCHEMES, build_update_program
@@ -42,8 +43,14 @@ def run_update_experiment(
     experiment: UpdateExperiment,
     params: MachineParams = ZEC12,
     max_cycles: Optional[int] = None,
+    metrics: bool = False,
 ) -> SimResult:
-    """Run one benchmark point and return the raw simulation result."""
+    """Run one benchmark point and return the raw simulation result.
+
+    With ``metrics=True`` a :class:`~repro.sim.metrics.MetricsRegistry`
+    observes the run and its summary lands on ``result.metrics``; the
+    architected result is identical either way.
+    """
     machine_params = params.with_cpus(experiment.n_cpus)
     layout = PoolLayout(experiment.pool_size)
     program = build_update_program(
@@ -55,7 +62,11 @@ def run_update_experiment(
     machine = Machine(machine_params)
     for _ in range(experiment.n_cpus):
         machine.add_program(program)
-    return machine.run(max_cycles=max_cycles)
+    registry = MetricsRegistry().attach(machine) if metrics else None
+    result = machine.run(max_cycles=max_cycles)
+    if registry is not None:
+        result.metrics = registry.summary()
+    return result
 
 
 #: Baseline cache: (params, iterations) -> raw throughput.
@@ -95,6 +106,11 @@ class SweepPoint:
     n_cpus: int
     throughput: float
     abort_rate: float
+    #: Metrics summary for the point's run (metrics-enabled sweeps only);
+    #: excluded from equality so metrics-on and -off sweeps compare equal.
+    metrics: Optional[Dict[str, Any]] = field(
+        default=None, compare=False, repr=False
+    )
 
 
 def sweep(
@@ -104,6 +120,7 @@ def sweep(
     n_vars: int,
     iterations: int = 50,
     params: MachineParams = ZEC12,
+    metrics: bool = False,
 ) -> List[SweepPoint]:
     """Run a full figure panel: every scheme at every CPU count."""
     base = baseline_throughput(params, iterations)
@@ -114,6 +131,7 @@ def sweep(
                 UpdateExperiment(scheme, n_cpus, pool_size, n_vars,
                                  iterations),
                 params,
+                metrics=metrics,
             )
             points.append(
                 SweepPoint(
@@ -121,6 +139,7 @@ def sweep(
                     n_cpus=n_cpus,
                     throughput=result.normalized_throughput(base),
                     abort_rate=result.abort_rate,
+                    metrics=result.metrics,
                 )
             )
     return points

@@ -32,6 +32,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import sys
 from dataclasses import asdict, dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -70,6 +71,7 @@ def result_to_payload(result: SimResult) -> Dict[str, Any]:
         "type": "sim",
         "cycles": result.cycles,
         "aborted_early": result.aborted_early,
+        "metrics": result.metrics,
         "cpus": [
             {
                 "cpu_id": c.cpu_id,
@@ -93,6 +95,7 @@ def result_from_payload(payload: Dict[str, Any]) -> Any:
         cycles=payload["cycles"],
         aborted_early=payload["aborted_early"],
         cpus=[CpuResult(**cpu) for cpu in payload["cpus"]],
+        metrics=payload.get("metrics"),
     )
 
 
@@ -126,14 +129,22 @@ def code_version() -> str:
     return _CODE_VERSION
 
 
-def task_key(kind: str, experiment: Any, params: MachineParams) -> str:
-    """Stable cache key for one (experiment, params, code version)."""
+def task_key(kind: str, experiment: Any, params: MachineParams,
+             metrics: bool = False) -> str:
+    """Stable cache key for one (experiment, params, code version).
+
+    The key also covers the interpreter version (``major.minor``) and
+    whether metrics collection was on, so an entry written under py3.9
+    or with metrics off is never served for a py3.12/metrics-on run.
+    """
     blob = json.dumps(
         {
             "kind": kind,
             "experiment": asdict(experiment),
             "params": asdict(params),
             "code": code_version(),
+            "python": f"{sys.version_info[0]}.{sys.version_info[1]}",
+            "metrics": bool(metrics),
         },
         sort_keys=True,
         default=str,
@@ -178,19 +189,25 @@ def default_cache_root() -> str:
 # ----------------------------------------------------------------------
 
 
-def _run_task(job: Tuple[str, Any, MachineParams]) -> Dict[str, Any]:
+def _run_task(job: Tuple[str, Any, MachineParams, bool]) -> Dict[str, Any]:
     """Worker entry point: run one task, return its JSON payload.
 
     Module-level (not a closure) so it pickles under every
     multiprocessing start method.
     """
-    kind, experiment, params = job
+    kind, experiment, params, metrics = job
     if kind == "update":
-        return result_to_payload(run_update_experiment(experiment, params))
+        return result_to_payload(
+            run_update_experiment(experiment, params, metrics=metrics)
+        )
     if kind == "hashtable":
-        return result_to_payload(run_hashtable_experiment(experiment, params))
+        return result_to_payload(
+            run_hashtable_experiment(experiment, params, metrics=metrics)
+        )
     if kind == "queue":
-        return result_to_payload(run_queue_experiment(experiment, params))
+        return result_to_payload(
+            run_queue_experiment(experiment, params, metrics=metrics)
+        )
     if kind == "footprint":
         rate = footprint_abort_rate(
             experiment.accessed_lines,
@@ -208,6 +225,7 @@ def run_tasks(
     params: MachineParams = ZEC12,
     workers: int = 1,
     cache: Optional[ResultCache] = None,
+    metrics: bool = False,
 ) -> List[Any]:
     """Run experiment tasks, possibly in parallel, preserving order.
 
@@ -215,9 +233,15 @@ def run_tasks(
     each point's simulation is fully self-seeded, so the outputs are
     bit-identical to a serial run. With a ``cache``, already-computed
     points are served from disk and fresh points are written back.
+
+    With ``metrics=True`` each simulation task carries a metrics summary
+    on its result; summaries merge deterministically because the result
+    order is the submission order (see
+    :func:`repro.sim.metrics.merge_summaries`).
     """
-    jobs = [(kind, experiment, params) for kind, experiment in tasks]
-    keys = [task_key(kind, experiment, params) for kind, experiment in tasks]
+    jobs = [(kind, experiment, params, metrics) for kind, experiment in tasks]
+    keys = [task_key(kind, experiment, params, metrics=metrics)
+            for kind, experiment in tasks]
 
     payloads: List[Optional[Dict[str, Any]]] = [None] * len(jobs)
     if cache is not None:
@@ -265,6 +289,7 @@ def parallel_sweep(
     params: MachineParams = ZEC12,
     workers: int = 1,
     cache: Optional[ResultCache] = None,
+    metrics: bool = False,
 ) -> List[SweepPoint]:
     """Parallel drop-in for :func:`repro.bench.figures.sweep`.
 
@@ -281,7 +306,8 @@ def parallel_sweep(
                                      iterations),
                 )
             )
-    results = run_tasks(tasks, params=params, workers=workers, cache=cache)
+    results = run_tasks(tasks, params=params, workers=workers, cache=cache,
+                        metrics=metrics)
     base = results[0].throughput
     points: List[SweepPoint] = []
     for (_, experiment), result in zip(tasks[1:], results[1:]):
@@ -291,6 +317,7 @@ def parallel_sweep(
                 n_cpus=experiment.n_cpus,
                 throughput=result.normalized_throughput(base),
                 abort_rate=result.abort_rate,
+                metrics=result.metrics,
             )
         )
     return points

@@ -10,7 +10,7 @@ against Figure 5.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
 
 from ..errors import ConfigurationError
 from .figures import SweepPoint
@@ -96,6 +96,39 @@ def render_table(
                          else " " * 10)
         rows.append(f"{n_cpus:>6} " + " ".join(cells))
     return "\n".join(rows)
+
+
+def render_abort_attribution(summary: Dict[str, Any],
+                             title: str = "abort attribution") -> str:
+    """Tabulate a ``repro.sim.metrics`` summary's abort causes.
+
+    One row per abort cause (sorted by count, then name), with the share
+    of all aborts; footer lines report stiff-arms, the store-cache
+    occupancy high-water mark and the footprint means at commit.
+    """
+    totals = summary["totals"]
+    causes = totals["abort_causes"]
+    aborts = totals["aborts"]
+    lines: List[str] = [title]
+    lines.append(f"{'cause':<28} {'count':>10} {'share':>8}")
+    if not causes:
+        lines.append(f"{'(no aborts)':<28} {0:>10} {'-':>8}")
+    for name, count in sorted(causes.items(), key=lambda kv: (-kv[1], kv[0])):
+        share = count / aborts if aborts else 0.0
+        lines.append(f"{name:<28} {count:>10} {share:>7.1%}")
+    reads = totals["read_set_at_commit"]
+    writes = totals["write_set_at_commit"]
+    lines.append(
+        f"aborts={aborts} commits={totals['commits']} "
+        f"stiff_arms={totals['stiff_arms']} "
+        f"broadcast_stops={totals['broadcast_stops']}"
+    )
+    lines.append(
+        f"store-cache hwm={totals['store_cache_occupancy_hwm']} "
+        f"read-set@commit mean={reads['mean']:.1f} max={reads['max']} "
+        f"write-set@commit mean={writes['mean']:.1f} max={writes['max']}"
+    )
+    return "\n".join(lines)
 
 
 def speedup_summary(

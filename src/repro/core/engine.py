@@ -70,6 +70,85 @@ class FetchRetry(Exception):
         self.delay = delay
 
 
+class MetricsSink:
+    """No-op base class for the engine's explicit metrics hook points.
+
+    One sink instance observes one engine: attach it with
+    :meth:`TxEngine.attach_metrics` and the engine calls the ``note_*``
+    methods from fixed hook sites on the transaction/XI/fetch paths.
+    Hook sites fire at the same program points as the engine's ``stats_*``
+    counters, so sink totals reconcile exactly with
+    :class:`~repro.sim.results.CpuResult` — ``note_abort`` fires iff
+    ``stats_tx_aborted`` increments, ``note_stiff_arm`` iff
+    ``stats_xi_rejected`` increments.
+
+    When no sink is attached ``engine.metrics`` is None and every hook
+    site is a single attribute load plus a None check; nothing is
+    wrapped, so PR 1's inlined fast paths stay observable (the inline
+    L1-hit fetch calls ``note_fetch`` itself).
+    """
+
+    __slots__ = ()
+
+    def note_tbegin(self, constrained: bool, ia: int) -> None:
+        """Outermost TBEGIN/TBEGINC completed (depth 0 -> 1)."""
+
+    def note_commit(self, ia: int, read_lines: int, write_lines: int,
+                    store_cache_used: int, extension_rows: int) -> None:
+        """Outermost TEND committed; footprint captured pre-teardown."""
+
+    def note_abort(self, abort: TransactionAbort, read_lines: int,
+                   write_lines: int, xi_rejects: int,
+                   extension_rows: int) -> None:
+        """Memory-side abort recognised; footprint captured pre-teardown."""
+
+    def note_xi(self, xi: Xi, response: XiResponse) -> None:
+        """An XI was answered (every response, including rejects)."""
+
+    def note_stiff_arm(self, xi: Xi, rejects: int) -> None:
+        """An XI was rejected; ``rejects`` is the hang counter after it."""
+
+    def note_fetch(self, line: int, exclusive: bool, source: str) -> None:
+        """A line fetch completed (``source`` is l1/l2/l3/l4/memory/...)."""
+
+
+class _MetricsFanout(MetricsSink):
+    """Forwards hook calls to several sinks (e.g. Tracer + registry)."""
+
+    __slots__ = ("sinks",)
+
+    def __init__(self, sinks) -> None:
+        self.sinks = list(sinks)
+
+    def note_tbegin(self, constrained, ia):
+        for sink in self.sinks:
+            sink.note_tbegin(constrained, ia)
+
+    def note_commit(self, ia, read_lines, write_lines, store_cache_used,
+                    extension_rows):
+        for sink in self.sinks:
+            sink.note_commit(ia, read_lines, write_lines, store_cache_used,
+                             extension_rows)
+
+    def note_abort(self, abort, read_lines, write_lines, xi_rejects,
+                   extension_rows):
+        for sink in self.sinks:
+            sink.note_abort(abort, read_lines, write_lines, xi_rejects,
+                            extension_rows)
+
+    def note_xi(self, xi, response):
+        for sink in self.sinks:
+            sink.note_xi(xi, response)
+
+    def note_stiff_arm(self, xi, rejects):
+        for sink in self.sinks:
+            sink.note_stiff_arm(xi, rejects)
+
+    def note_fetch(self, line, exclusive, source):
+        for sink in self.sinks:
+            sink.note_fetch(line, exclusive, source)
+
+
 class TxEngine(CpuPort):
     """Transactional LSU + cache hierarchy of one CPU."""
 
@@ -139,7 +218,42 @@ class TxEngine(CpuPort):
         self.stats_xi_rejected = 0
         self.stats_prefetches = 0
 
+        #: Attached :class:`MetricsSink` (None, one sink, or a fanout).
+        #: Hook sites guard on ``self.metrics is not None`` so the
+        #: metrics-off hot paths pay one attribute load per site.
+        self.metrics: Optional[MetricsSink] = None
+
         fabric.register(self)
+
+    # ------------------------------------------------------------------
+    # metrics hook management
+    # ------------------------------------------------------------------
+
+    def attach_metrics(self, sink: MetricsSink) -> None:
+        """Attach a sink to this engine's hook points.
+
+        Multiple sinks may be attached (a tracer and a metrics registry
+        at once); they are fanned out in attachment order.
+        """
+        current = self.metrics
+        if current is None:
+            self.metrics = sink
+        elif isinstance(current, _MetricsFanout):
+            current.sinks.append(sink)
+        else:
+            self.metrics = _MetricsFanout([current, sink])
+
+    def detach_metrics(self, sink: MetricsSink) -> None:
+        """Detach a previously attached sink (no-op if absent)."""
+        current = self.metrics
+        if current is sink:
+            self.metrics = None
+        elif isinstance(current, _MetricsFanout) and sink in current.sinks:
+            current.sinks.remove(sink)
+            if len(current.sinks) == 1:
+                self.metrics = current.sinks[0]
+            elif not current.sinks:
+                self.metrics = None
 
     # ------------------------------------------------------------------
     # pre/post instruction hooks (called by the CPU driver layers)
@@ -245,6 +359,9 @@ class TxEngine(CpuPort):
         self.store_cache.begin_transaction()
         self.memory.apply_writes(self.store_cache.take_drained())
         self.stats_tx_started += 1
+        m = self.metrics
+        if m is not None:
+            m.note_tbegin(constrained, ia)
         return latency
 
     def tx_end(self, ia: int = 0) -> Tuple[int, int]:
@@ -268,7 +385,18 @@ class TxEngine(CpuPort):
         if remaining > 0:
             return (self.params.costs.tend, remaining)
 
-        # Outermost TEND: commit.
+        # Outermost TEND: commit. Footprint sizes are captured before the
+        # commit tears them down (end_transaction clears the store-cache
+        # tx marks, tx.reset drops the read set).
+        m = self.metrics
+        if m is not None:
+            m.note_commit(
+                ia,
+                len(self.tx.read_set),
+                len(self.store_cache.tx_lines()),
+                len(self.store_cache),
+                self.l1.extension_rows(),
+            )
         self.store_cache.end_transaction()
         self.stq.clear_tx_marks()
         self.l1.end_transaction()
@@ -489,6 +617,9 @@ class TxEngine(CpuPort):
             self._fetch_wait = None
             if self.pending_abort is not None:
                 raise TransactionAbortSignal(self.pending_abort)
+            m = self.metrics
+            if m is not None:
+                m.note_fetch(line, exclusive, "l1")
             return (lat.l1_hit, "l1")
         key = (line, exclusive)
         if self._fetch_wait != key:
@@ -506,6 +637,9 @@ class TxEngine(CpuPort):
         latency = outcome.latency
         if latency > lat.l1_hit:
             latency = lat.l1_hit
+        m = self.metrics
+        if m is not None:
+            m.note_fetch(line, exclusive, outcome.source)
         return (latency, outcome.source)
 
     def _note_read_lines(self, lines, addr: int, length: int) -> None:
@@ -713,6 +847,16 @@ class TxEngine(CpuPort):
             interrupts_to_os=interrupts_to_os,
             constrained=self.tx.constrained,
         )
+        m = self.metrics
+        if m is not None:
+            # Footprint captured before the teardown below clears it.
+            m.note_abort(
+                self.pending_abort,
+                len(self.tx.read_set),
+                len(self.store_cache.tx_lines()),
+                self.tx.xi_rejects,
+                self.l1.extension_rows(),
+            )
         # Invalidate speculative data: tx-dirty L1 lines vanish, pending
         # transactional stores are dropped (NTSTG doublewords survive),
         # the read set is forgotten.
@@ -785,6 +929,9 @@ class TxEngine(CpuPort):
                 self.memory.apply_writes(self.store_cache.take_drained())
                 extra = drained * self.params.latencies.store_cache_drain
             self._apply_xi(xi)
+            m = self.metrics
+            if m is not None:
+                m.note_xi(xi, XiResponse.ACCEPT)
             return (XiResponse.ACCEPT, extra)
 
         if xi.xi_type is XiType.READ_ONLY:
@@ -792,6 +939,9 @@ class TxEngine(CpuPort):
                 # Not rejectable: the reader transaction aborts.
                 self._abort_now(AbortCode.FETCH_CONFLICT, conflict_token=line)
             self._apply_xi(xi)
+            m = self.metrics
+            if m is not None:
+                m.note_xi(xi, XiResponse.ACCEPT)
             return (XiResponse.ACCEPT, 0)
 
         # LRU XI from an inclusive higher-level cache eviction.
@@ -803,6 +953,9 @@ class TxEngine(CpuPort):
             self.store_cache.drain_line(line)
             self.memory.apply_writes(self.store_cache.take_drained())
         self._apply_xi(xi)
+        m = self.metrics
+        if m is not None:
+            m.note_xi(xi, XiResponse.ACCEPT)
         return (XiResponse.ACCEPT, 0)
 
     def _read_set_hit(self, line: int) -> bool:
@@ -825,6 +978,10 @@ class TxEngine(CpuPort):
             and self.tx.xi_rejects < self.params.tx.xi_reject_threshold
         ):
             self.stats_xi_rejected += 1
+            m = self.metrics
+            if m is not None:
+                m.note_stiff_arm(xi, self.tx.xi_rejects)
+                m.note_xi(xi, XiResponse.REJECT)
             return (XiResponse.REJECT, 0)
         self._abort_now(abort_code, conflict_token=xi.line)
         extra = 0
@@ -833,6 +990,9 @@ class TxEngine(CpuPort):
             self.memory.apply_writes(self.store_cache.take_drained())
             extra = drained * self.params.latencies.store_cache_drain
         self._apply_xi(xi)
+        m = self.metrics
+        if m is not None:
+            m.note_xi(xi, XiResponse.ACCEPT)
         return (XiResponse.ACCEPT, extra)
 
     def _apply_xi(self, xi: Xi) -> None:

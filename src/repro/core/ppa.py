@@ -34,7 +34,13 @@ class PpaAssist:
         """Random delay (cycles) for the given abort count.
 
         Exponential in the abort count, uniformly randomised, and zero for
-        a zero count (first attempt needs no delay).
+        a zero count (first attempt needs no delay). Counts above
+        :data:`MAX_EXPONENT` clamp: the delay stays uniform in
+        ``[unit, unit << MAX_EXPONENT]`` however often the transaction has
+        aborted, so the back-off ceiling is bounded and independent of the
+        retry count. Exactly one RNG draw per positive count keeps the
+        delay sequence deterministic for a seeded ``rng`` regardless of
+        the abort counts it is asked about.
         """
         if abort_count <= 0:
             return 0

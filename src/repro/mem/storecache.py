@@ -115,7 +115,7 @@ class GatheringStoreCache:
 
     __slots__ = ("capacity", "drain_threshold", "_queue", "_by_block",
                  "_drained", "stats_gathered", "stats_allocated",
-                 "stats_drained_entries")
+                 "stats_drained_entries", "stats_occupancy_hwm")
 
     def __init__(
         self,
@@ -136,6 +136,9 @@ class GatheringStoreCache:
         self.stats_gathered = 0
         self.stats_allocated = 0
         self.stats_drained_entries = 0
+        #: Most entries ever simultaneously valid (occupancy high-water
+        #: mark over the whole run — the section III.D capacity figure).
+        self.stats_occupancy_hwm = 0
 
     # -- basic state --------------------------------------------------------
 
@@ -186,6 +189,8 @@ class GatheringStoreCache:
             self._queue.append(entry)
             self._by_block.setdefault(block, []).append(entry)
             self.stats_allocated += 1
+            if len(self._queue) > self.stats_occupancy_hwm:
+                self.stats_occupancy_hwm = len(self._queue)
         else:
             self.stats_gathered += 1
         entry.gather(addr, data, ntstg=ntstg)

@@ -1,9 +1,11 @@
 """Discrete-event machine, scheduler and results."""
 
 from .machine import Machine, MarkRecorder
+from .metrics import CpuMetrics, MetricsRegistry, merge_summaries
 from .results import CpuResult, SimResult
 from .scheduler import Scheduler
 from .trace import TraceEvent, Tracer
 
 __all__ = ["Machine", "MarkRecorder", "CpuResult", "SimResult", "Scheduler",
-           "TraceEvent", "Tracer"]
+           "TraceEvent", "Tracer", "CpuMetrics", "MetricsRegistry",
+           "merge_summaries"]

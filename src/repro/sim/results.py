@@ -11,7 +11,7 @@ variable". We reproduce exactly that pipeline.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from ..errors import SimulationError
 
@@ -46,6 +46,12 @@ class SimResult:
     cycles: int
     cpus: List[CpuResult]
     aborted_early: bool = False
+    #: Optional ``repro.sim.metrics`` summary dict when the run was
+    #: executed with metrics collection on. Not part of the architected
+    #: result: excluded from comparisons and repr.
+    metrics: Optional[Dict[str, Any]] = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def n_cpus(self) -> int:

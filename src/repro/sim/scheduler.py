@@ -37,6 +37,8 @@ class Scheduler:
         self.pre_step = None
         self._seq = 0
         self._horizon = 0
+        #: Times the broadcast-stop (solo) token was granted to a CPU.
+        self.stats_broadcast_stops = 0
         #: CPUs with an outstanding broadcast-stop request, maintained
         #: incrementally: engines request solo only during their own
         #: step, so observing after each step is complete.
@@ -105,6 +107,7 @@ class Scheduler:
                 elif solo != self._stop_applied_for:
                     self._apply_broadcast_stop(solo)
                     self._stop_applied_for = solo
+                    self.stats_broadcast_stops += 1
                 if solo is not None and index != solo:
                     deferred.append((time, index))
                     continue

@@ -5,8 +5,19 @@ coherence events with simulated timestamps — useful for debugging
 workloads ("why did this transaction abort?") and for the kind of
 hardware/firmware bring-up analysis the paper's section II.E describes.
 
-Tracing hooks into the engines non-invasively (method wrapping), so the
-hot paths carry no cost when tracing is off.
+Tracing rides the engine's explicit metrics hook points
+(:class:`~repro.core.engine.MetricsSink`) rather than wrapping methods:
+each engine fires ``note_*`` callbacks from fixed sites on the
+transaction/XI/fetch paths, so inlined fast paths (e.g. the L1-hit
+fetch) are observed too and the hot paths carry a single None-check
+when tracing is off. The quantitative counterpart — abort-cause
+histograms, footprints, JSONL export — is
+:class:`repro.sim.metrics.MetricsRegistry`, which shares the same hook
+points and can be attached alongside a tracer.
+
+The event ``limit`` caps only event *storage*: the per-kind counters
+reported by :meth:`Tracer.summary` keep counting past the limit, and
+the number of events not stored is reported as ``dropped=N``.
 
 Example::
 
@@ -22,10 +33,10 @@ Example::
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Set
+from dataclasses import dataclass
+from typing import List, Optional, Set
 
-from ..core.abort import TransactionAbort
+from ..core.engine import MetricsSink
 
 ALL_KINDS = frozenset({"tbegin", "commit", "abort", "xi", "fetch"})
 
@@ -43,6 +54,42 @@ class TraceEvent:
         return f"[{self.time:>10}] cpu{self.cpu:<3} {self.kind:<7} {self.detail}"
 
 
+class _EngineTap(MetricsSink):
+    """Per-engine hook-point adapter feeding one :class:`Tracer`."""
+
+    __slots__ = ("tracer", "cpu")
+
+    def __init__(self, tracer: "Tracer", cpu: int) -> None:
+        self.tracer = tracer
+        self.cpu = cpu
+
+    def note_tbegin(self, constrained, ia):
+        self.tracer._record(
+            self.cpu, "tbegin",
+            f"{'TBEGINC' if constrained else 'TBEGIN'} at 0x{ia:x}")
+
+    def note_commit(self, ia, read_lines, write_lines, store_cache_used,
+                    extension_rows):
+        self.tracer._record(self.cpu, "commit", f"TEND at 0x{ia:x}")
+
+    def note_abort(self, abort, read_lines, write_lines, xi_rejects,
+                   extension_rows):
+        self.tracer._record(self.cpu, "abort", abort.describe())
+
+    def note_xi(self, xi, response):
+        self.tracer._record(
+            self.cpu, "xi",
+            f"{xi.xi_type.value} XI line 0x{xi.line:x} from "
+            f"cpu{xi.requester}: {response.value}")
+
+    def note_fetch(self, line, exclusive, source):
+        if source != "l1":
+            self.tracer._record(
+                self.cpu, "fetch",
+                f"line 0x{line:x} {'EX' if exclusive else 'RO'} "
+                f"from {source}")
+
+
 class Tracer:
     """Records engine events from a machine run."""
 
@@ -56,8 +103,19 @@ class Tracer:
         self.limit = limit
         self.events: List[TraceEvent] = []
         self.dropped = 0
+        #: Per-kind totals; unlike ``events``, never capped by ``limit``.
+        self._counts: Counter = Counter()
+        self._taps: List[_EngineTap] = []
         for engine in machine.engines:
-            self._instrument(engine)
+            tap = _EngineTap(self, engine.cpu_id)
+            engine.attach_metrics(tap)
+            self._taps.append(tap)
+
+    def detach(self) -> None:
+        """Stop observing; recorded events and counts stay readable."""
+        for engine, tap in zip(self.machine.engines, self._taps):
+            engine.detach_metrics(tap)
+        self._taps = []
 
     # -- recording -----------------------------------------------------------
 
@@ -68,73 +126,20 @@ class Tracer:
     def _record(self, cpu: int, kind: str, detail: str) -> None:
         if kind not in self.kinds:
             return
+        self._counts[kind] += 1
         if len(self.events) >= self.limit:
             self.dropped += 1
             return
         self.events.append(TraceEvent(self._now(), cpu, kind, detail))
 
-    def _instrument(self, engine) -> None:
-        cpu = engine.cpu_id
-        record = self._record
-
-        original_begin = engine.tx_begin
-
-        def traced_begin(controls=None, constrained=False, ia=0):
-            latency = original_begin(controls, constrained=constrained, ia=ia)
-            if engine.tx.depth == 1:
-                record(cpu, "tbegin",
-                       f"{'TBEGINC' if constrained else 'TBEGIN'} at 0x{ia:x}")
-            return latency
-
-        engine.tx_begin = traced_begin
-
-        original_end = engine.tx_end
-
-        def traced_end(ia=0):
-            latency, depth = original_end(ia)
-            if depth == 0 and engine.stats_tx_committed:
-                record(cpu, "commit", f"TEND at 0x{ia:x}")
-            return (latency, depth)
-
-        engine.tx_end = traced_end
-
-        original_abort_now = engine._abort_now
-
-        def traced_abort_now(code, **kwargs):
-            was_pending = engine.pending_abort is not None
-            original_abort_now(code, **kwargs)
-            if not was_pending and engine.pending_abort is not None:
-                record(cpu, "abort", engine.pending_abort.describe())
-
-        engine._abort_now = traced_abort_now
-
-        original_receive = engine.receive_xi
-
-        def traced_receive(xi):
-            response, extra = original_receive(xi)
-            record(cpu, "xi",
-                   f"{xi.xi_type.value} XI line 0x{xi.line:x} from "
-                   f"cpu{xi.requester}: {response.value}")
-            return (response, extra)
-
-        engine.receive_xi = traced_receive
-
-        original_fetch = engine._fetch
-
-        def traced_fetch(line, exclusive):
-            latency, source = original_fetch(line, exclusive)
-            if source != "l1":
-                record(cpu, "fetch",
-                       f"line 0x{line:x} {'EX' if exclusive else 'RO'} "
-                       f"from {source}")
-            return (latency, source)
-
-        engine._fetch = traced_fetch
-
     # -- analysis ---------------------------------------------------------------
 
     def of_kind(self, kind: str) -> List[TraceEvent]:
         return [e for e in self.events if e.kind == kind]
+
+    def counts(self) -> Counter:
+        """Per-kind event totals (counted even past the storage limit)."""
+        return Counter(self._counts)
 
     def aborts_by_code(self) -> Counter:
         """Histogram of abort reasons (parsed from the detail strings)."""
@@ -144,7 +149,7 @@ class Tracer:
         return counter
 
     def summary(self) -> str:
-        counts = Counter(e.kind for e in self.events)
+        counts = self._counts
         parts = [f"{kind}={counts.get(kind, 0)}" for kind in sorted(self.kinds)]
         if self.dropped:
             parts.append(f"dropped={self.dropped}")

@@ -21,6 +21,7 @@ from ..errors import ConfigurationError
 from ..htm.api import Ctx, HtmMachine
 from ..htm.datastructures import HashTable
 from ..params import MachineParams, ZEC12
+from ..sim.metrics import MetricsRegistry
 from ..sim.results import SimResult
 
 TABLE_BASE = 0x0080_0000
@@ -66,10 +67,15 @@ def run_hashtable_experiment(
     experiment: HashtableExperiment,
     params: MachineParams = ZEC12,
     max_cycles: Optional[int] = None,
+    metrics: bool = False,
 ) -> SimResult:
     """Run one Figure 5(e) point and return the simulation result."""
     machine = HtmMachine(params.with_cpus(experiment.n_threads))
     table = HashTable(TABLE_BASE, buckets=experiment.buckets)
     for _ in range(experiment.n_threads):
         machine.spawn(hashtable_worker(table, experiment))
-    return machine.run(max_cycles=max_cycles)
+    registry = MetricsRegistry().attach(machine) if metrics else None
+    result = machine.run(max_cycles=max_cycles)
+    if registry is not None:
+        result.metrics = registry.summary()
+    return result

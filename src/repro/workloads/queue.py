@@ -17,6 +17,7 @@ from ..errors import ConfigurationError
 from ..htm.api import Ctx, HtmMachine
 from ..htm.datastructures import ConcurrentQueue
 from ..params import MachineParams, ZEC12
+from ..sim.metrics import MetricsRegistry
 from ..sim.results import SimResult
 
 QUEUE_BASE = 0x00C0_0000
@@ -58,6 +59,7 @@ def run_queue_experiment(
     experiment: QueueExperiment,
     params: MachineParams = ZEC12,
     max_cycles: Optional[int] = None,
+    metrics: bool = False,
 ) -> SimResult:
     """Run one queue benchmark point."""
     capacity = experiment.n_threads * (experiment.operations + 2)
@@ -66,4 +68,8 @@ def run_queue_experiment(
                             max_threads=experiment.n_threads)
     for index in range(experiment.n_threads):
         machine.spawn(queue_worker(queue, experiment, initialize=index == 0))
-    return machine.run(max_cycles=max_cycles)
+    registry = MetricsRegistry().attach(machine) if metrics else None
+    result = machine.run(max_cycles=max_cycles)
+    if registry is not None:
+        result.metrics = registry.summary()
+    return result

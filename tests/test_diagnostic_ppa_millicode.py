@@ -65,6 +65,49 @@ class TestPpa:
         ppa = PpaAssist(Latencies(), random.Random(1))
         assert len({ppa.delay_cycles(3) for _ in range(50)}) > 5
 
+    @pytest.mark.parametrize("count", [0, 1, 6, 7, 100])
+    def test_delay_in_clamped_range(self, count):
+        """Counts 0/1/6/7/100: zero for the first attempt, otherwise
+        within [unit, unit << min(count, MAX_EXPONENT)] — counts above
+        the cap clamp instead of widening the delay window."""
+        latencies = Latencies()
+        ppa = PpaAssist(latencies, random.Random(7))
+        unit = latencies.on_chip_intervention
+        exponent = min(count, PpaAssist.MAX_EXPONENT)
+        for _ in range(300):
+            delay = ppa.delay_cycles(count)
+            if count == 0:
+                assert delay == 0
+            else:
+                assert unit <= delay <= unit * (1 << exponent)
+
+    def test_counts_above_cap_share_the_capped_distribution(self):
+        """Counts 7 and 100 draw from the same distribution as the cap
+        (MAX_EXPONENT=6): same seeded rng => identical delay sequences."""
+        for count in (7, 100):
+            ppa_cap = PpaAssist(Latencies(), random.Random(3))
+            ppa_over = PpaAssist(Latencies(), random.Random(3))
+            assert [ppa_over.delay_cycles(count) for _ in range(200)] == [
+                ppa_cap.delay_cycles(6) for _ in range(200)
+            ]
+
+    def test_delay_sequence_deterministic_per_seed(self):
+        """The same seed yields the same delay sequence, one rng draw per
+        positive count, regardless of the mix of abort counts."""
+        counts = [1, 6, 7, 100, 0, 2, 100, 1]
+        a = PpaAssist(Latencies(), random.Random(42))
+        b = PpaAssist(Latencies(), random.Random(42))
+        assert [a.delay_cycles(c) for c in counts] == [
+            b.delay_cycles(c) for c in counts
+        ]
+        # Zero counts consume no randomness: dropping them does not shift
+        # the remaining sequence.
+        c = PpaAssist(Latencies(), random.Random(42))
+        positive = [n for n in counts if n > 0]
+        d = PpaAssist(Latencies(), random.Random(42))
+        seq_with_zero = [c.delay_cycles(n) for n in counts if n > 0]
+        assert seq_with_zero == [d.delay_cycles(n) for n in positive]
+
 
 class TestMillicodeEscalation:
     def make(self):

@@ -105,6 +105,77 @@ def test_events_are_time_ordered_and_printable():
         assert kind in summary
 
 
+def force_fetch_slow_path(machine):
+    """Disable the inlined L1-hit fetch fast path on every engine.
+
+    Rebinding ``_l1_entries`` to an empty dict makes the inline probe
+    always miss, so every fetch goes through the fabric — the pre-fast-
+    path behaviour. L1 hits still resolve identically there (same
+    latency, same LRU touch, same ``"l1"`` source), so results must be
+    bit-identical.
+    """
+    for engine in machine.engines:
+        engine._l1_entries = {}
+
+
+def test_traced_fetch_count_matches_slow_path():
+    """Regression: the inlined L1-hit fast path must still produce fetch
+    hook events, so a traced run records the same fetch count as a run
+    forced down the original slow path."""
+    fast = committing_machine(n_cpus=2, iterations=5)
+    fast_tracer = Tracer(fast, kinds={"fetch"})
+    fast_result = fast.run()
+
+    slow = committing_machine(n_cpus=2, iterations=5)
+    force_fetch_slow_path(slow)
+    slow_tracer = Tracer(slow, kinds={"fetch"})
+    slow_result = slow.run()
+
+    assert fast_result.cycles == slow_result.cycles
+    assert len(fast_tracer.of_kind("fetch")) == len(slow_tracer.of_kind("fetch"))
+    assert [(e.time, e.cpu, e.detail) for e in fast_tracer.events] == [
+        (e.time, e.cpu, e.detail) for e in slow_tracer.events
+    ]
+    assert fast_tracer.summary() == slow_tracer.summary()
+
+
+def test_fast_path_fetches_reach_hooks():
+    """The inline L1-hit return site fires note_fetch like the slow path."""
+    from repro.sim.metrics import MetricsRegistry
+
+    fast = committing_machine(iterations=5)
+    fast_registry = MetricsRegistry().attach(fast)
+    fast.run()
+
+    slow = committing_machine(iterations=5)
+    force_fetch_slow_path(slow)
+    slow_registry = MetricsRegistry().attach(slow)
+    slow.run()
+
+    fast_sources = fast_registry.summary()["totals"]["fetch_sources"]
+    slow_sources = slow_registry.summary()["totals"]["fetch_sources"]
+    assert fast_sources.get("l1", 0) > 0  # fast path hits were observed
+    assert fast_sources == slow_sources
+
+
+def test_summary_counts_past_event_limit():
+    """The event limit caps storage only: summary() keeps exact per-kind
+    totals and reports the dropped count."""
+    unlimited = committing_machine(n_cpus=2, iterations=6)
+    full = Tracer(unlimited)
+    unlimited.run()
+
+    limited_machine = committing_machine(n_cpus=2, iterations=6)
+    limited = Tracer(limited_machine, limit=3)
+    limited_machine.run()
+
+    assert len(limited.events) == 3
+    assert limited.dropped == sum(full.counts().values()) - 3
+    assert limited.counts() == full.counts()
+    # summary() reports the uncapped totals plus the dropped count.
+    assert limited.summary() == full.summary() + f" dropped={limited.dropped}"
+
+
 def test_tracing_does_not_change_results():
     plain = committing_machine(n_cpus=2, iterations=5)
     plain_result = plain.run()
