@@ -13,6 +13,15 @@ check — the optimized simulator must reproduce them exactly.
 Run with::
 
     python benchmarks/bench_speed.py [--repeats N] [--output PATH]
+                                     [--points NAME[,NAME...]]
+                                     [--check-against PATH [--tolerance F]]
+                                     [--no-write]
+
+``--check-against`` turns the harness into a perf-regression guard: each
+measured point must reach at least ``(1 - tolerance)`` of the
+instructions-per-second recorded in the given report (the committed
+``BENCH_speed.json``), else the exit status is 1. The determinism check
+against the seed instruction/cycle counts applies in every mode.
 """
 
 from __future__ import annotations
@@ -70,14 +79,40 @@ def main() -> int:
                         default=os.path.join(os.path.dirname(__file__),
                                              "..", "BENCH_speed.json"),
                         help="where to write the JSON report")
+    parser.add_argument("--points",
+                        help="comma-separated subset of points to run "
+                             f"(available: {', '.join(BASELINES)})")
+    parser.add_argument("--check-against", metavar="PATH",
+                        help="perf-regression guard: fail if a point's "
+                             "insns/s falls below the report at PATH by "
+                             "more than --tolerance")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional insns/s drop for "
+                             "--check-against (default 0.30)")
+    parser.add_argument("--no-write", action="store_true",
+                        help="measure and check only; do not write --output")
     args = parser.parse_args()
+
+    if args.points:
+        selected = args.points.split(",")
+        unknown = [p for p in selected if p not in BASELINES]
+        if unknown:
+            parser.error(f"unknown point(s): {', '.join(unknown)}")
+        points = {name: BASELINES[name] for name in selected}
+    else:
+        points = BASELINES
+
+    committed = None
+    if args.check_against:
+        with open(args.check_against) as handle:
+            committed = json.load(handle)["points"]
 
     report = {"points": {}, "repeats": args.repeats}
     print(f"{'point':<24} {'seed':>8} {'now':>8} {'speedup':>8} "
           f"{'insns/s':>10}")
     failed = False
     for name, (experiment, seed_s, seed_insns, seed_cycles) in (
-            BASELINES.items()):
+            points.items()):
         best, insns, cycles = measure(experiment, args.repeats)
         if (insns, cycles) != (seed_insns, seed_cycles):
             print(f"{name}: DETERMINISM MISMATCH — "
@@ -101,14 +136,27 @@ def main() -> int:
         }
         print(f"{name:<24} {seed_s:>7.2f}s {best:>7.2f}s {speedup:>7.2f}x "
               f"{ips:>10.0f}")
+        if committed is not None and name in committed:
+            floor = committed[name]["instructions_per_second"] * (
+                1.0 - args.tolerance
+            )
+            if ips < floor:
+                print(f"{name}: PERF REGRESSION — {ips:.0f} insns/s is "
+                      f"below the committed floor of {floor:.0f} "
+                      f"({committed[name]['instructions_per_second']} "
+                      f"- {args.tolerance:.0%})")
+                failed = True
 
-    headline = report["points"]["update-coarse-48cpu"]["speedup"]
-    report["headline_speedup_coarse_48cpu"] = headline
-    with open(args.output, "w") as handle:
-        json.dump(report, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    print(f"\nwrote {os.path.abspath(args.output)}; "
-          f"headline (coarse-48) speedup {headline:.2f}x")
+    headline = report["points"].get("update-coarse-48cpu", {}).get("speedup")
+    if headline is not None:
+        report["headline_speedup_coarse_48cpu"] = headline
+    if not args.no_write:
+        with open(args.output, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote {os.path.abspath(args.output)}"
+              + (f"; headline (coarse-48) speedup {headline:.2f}x"
+                 if headline is not None else ""))
     if failed:
         return 1
     return 0

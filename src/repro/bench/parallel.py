@@ -103,6 +103,14 @@ def result_from_payload(payload: Dict[str, Any]) -> Any:
 # cache keys
 # ----------------------------------------------------------------------
 
+#: Version tag for the simulator's data-plane representation (paged
+#: bytearray memory, line-indexed store forwarding, run-based drains).
+#: Bumped whenever the stored-result format or the memory/store-cache
+#: semantics change in a way the source hash alone should not be trusted
+#: to catch (e.g. a rename-only refactor that keeps byte-identical
+#: sources elsewhere, or an external cache shared across checkouts).
+DATA_PLANE_VERSION = 3
+
 _CODE_VERSION: Optional[str] = None
 
 
@@ -143,6 +151,7 @@ def task_key(kind: str, experiment: Any, params: MachineParams,
             "experiment": asdict(experiment),
             "params": asdict(params),
             "code": code_version(),
+            "data_plane": DATA_PLANE_VERSION,
             "python": f"{sys.version_info[0]}.{sys.version_info[1]}",
             "metrics": bool(metrics),
         },

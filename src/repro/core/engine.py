@@ -27,7 +27,6 @@ All state mutations happen after the last fetch of an operation.
 from __future__ import annotations
 
 import random
-from itertools import repeat
 from typing import Optional, Set, Tuple
 
 from ..errors import (
@@ -35,14 +34,19 @@ from ..errors import (
     ProgramInterruptionSignal,
     TransactionAbortSignal,
 )
-from ..mem.address import lines_touched, line_address, octowords_touched
+from ..mem.address import OCTOWORD, lines_touched, line_address, octowords_touched
 from ..mem.fabric import CoherenceFabric, CpuPort
 from ..mem.l1 import L1Cache
 from ..mem.l2 import L2Cache
 from ..mem.line import Ownership
-from ..mem.memory import MainMemory
+from ..mem.memory import PAGE_BYTES, PAGE_MASK, PAGE_SHIFT, MainMemory
 from ..mem.paging import PageTable
-from ..mem.storecache import GatheringStoreCache, StoreCacheOverflow
+from ..mem.storecache import (
+    BLOCK_SIZE,
+    _BLOCK_MASK,
+    GatheringStoreCache,
+    StoreCacheOverflow,
+)
 from ..mem.storequeue import StoreQueue
 from ..mem.xi import Xi, XiResponse, XiType
 from ..params import MachineParams
@@ -56,9 +60,8 @@ from .tdb import prefix_tdb_address, store_tdb
 from .txstate import CONSTRAINED_CONTROLS, TbeginControls, TransactionState
 
 
-#: Infinite zero-source shared by the read fast path (``map`` stops at the
-#: end of the address range, so the iterator is never exhausted).
-_REPEAT0 = repeat(0)
+#: Alignment mask for the constrained-transaction octoword footprint.
+_OCTO_MASK = ~(OCTOWORD - 1)
 
 
 class FetchRetry(Exception):
@@ -174,7 +177,10 @@ class TxEngine(CpuPort):
         self._line_mask = ~(params.line_size - 1)
         self._lat = params.latencies
         self._page_missing = self.page_table._missing
-        self._mem_get = memory._bytes.get
+        #: Alias of the paged memory image (the page dict is mutated only
+        #: in place), so the no-forwarding load fast path is a dict probe
+        #: plus one C-level slice instead of a per-byte loop.
+        self._mem_pages = memory._pages
 
         self.l1 = L1Cache(params.l1, lru_extension_enabled=params.lru_extension)
         self.l2 = L2Cache(params.l2)
@@ -182,10 +188,15 @@ class TxEngine(CpuPort):
         #: directory and its entry index are never rebound).
         self._l1_dir = self.l1.directory
         self._l1_entries = self.l1.directory._entries
+        self._l2_entries = self.l2.directory._entries
         self.stq = StoreQueue()
         self.store_cache = GatheringStoreCache(
             entries=params.tx.store_cache_entries,
         )
+        # Both containers are mutated strictly in place, so the load fast
+        # path's pending-store checks can alias them.
+        self._stq_entries = self.stq._entries
+        self._sc_by_block = self.store_cache._by_block
         self.tx = TransactionState(max_nesting_depth=params.tx.max_nesting_depth)
         self.tdc = TransactionDiagnosticControl(self.rng)
         self.ppa = PpaAssist(params.latencies, self.rng)
@@ -357,7 +368,7 @@ class TxEngine(CpuPort):
         self.tx.tbegin_address = ia
         self.l1.begin_transaction()
         self.store_cache.begin_transaction()
-        self.memory.apply_writes(self.store_cache.take_drained())
+        self.memory.apply_runs(self.store_cache.take_drained())
         self.stats_tx_started += 1
         m = self.metrics
         if m is not None:
@@ -432,7 +443,7 @@ class TxEngine(CpuPort):
         store cache naturally draining when the CPU idles.
         """
         self.store_cache.drain_all()
-        self.memory.apply_writes(self.store_cache.take_drained())
+        self.memory.apply_runs(self.store_cache.take_drained())
 
     def nesting_depth(self) -> Tuple[int, int]:
         """ETND: ``(latency, current nesting depth)`` (millicoded)."""
@@ -463,19 +474,83 @@ class TxEngine(CpuPort):
             self._translate(addr, length, store=False)
         first = addr & self._line_mask
         if (addr + length - 1) & self._line_mask == first:
-            # Single-line access — the overwhelmingly common case.
-            latency, source = self._fetch(first, exclusive=exclusive)
-            missed = source != "l1"
-            lines: Tuple[int, ...] = (first,)
-        else:
-            latency = 0
-            missed = False
-            lines = lines_touched(addr, length, self._line_size)
-            for line in lines:
-                cycles, source = self._fetch(line, exclusive=exclusive)
-                latency += cycles
-                if source != "l1":
-                    missed = True
+            # Single-line access — the overwhelmingly common case. The
+            # L1-hit fetch (mirroring ``_fetch``'s inline block; a
+            # pending abort cannot appear between the entry check above
+            # and here) and the no-pending-store page read are both
+            # inlined, making a hit load a few dict probes and a slice.
+            entry = self._l1_entries.get(first)
+            if entry is not None and (
+                not exclusive or entry.state is Ownership.EXCLUSIVE
+            ):
+                directory = self._l1_dir
+                self.fabric.stats_fetches += 1
+                directory._clock += 1
+                entry.lru = directory._clock
+                wait = self._fetch_wait
+                if wait is not None and wait[0] == first:
+                    self._fetch_wait = None
+                m = self.metrics
+                if m is not None:
+                    m.note_fetch(first, exclusive, "l1")
+                latency = self._lat.l1_hit
+                tx = self.tx
+                if tx.depth:
+                    # ``_note_read_lines`` unrolled against the entry we
+                    # already hold (mark_tx_read's lookup would re-find
+                    # it) and the common single-octoword access.
+                    if not entry.tx_read:
+                        entry.tx_read = True
+                        if not entry.tx_dirty:
+                            self.l1._tx_marked.append(entry)
+                    tx.read_set.add(first)
+                    octo = addr & _OCTO_MASK
+                    if (addr + length - 1) & _OCTO_MASK == octo:
+                        tx.octowords.add(octo)
+                    else:
+                        tx.octowords.update(octowords_touched(addr, length))
+                    if (
+                        tx.constrained
+                        and len(tx.octowords)
+                        > self.params.tx.constrained_max_octowords
+                    ):
+                        self.constraint_violation()
+            else:
+                latency, source = self._fetch(first, exclusive=exclusive)
+                if self.tx.depth:
+                    self._note_read_lines((first,), addr, length)
+                    if source != "l1":
+                        self._speculative_prefetch(first)
+            if not self._stq_entries:
+                # ``overlaps_range`` unrolled: a single-line access spans
+                # at most two store-cache blocks.
+                by_block = self._sc_by_block
+                block = addr & _BLOCK_MASK
+                if not by_block or (
+                    block not in by_block
+                    and ((addr + length - 1) & _BLOCK_MASK == block
+                         or block + BLOCK_SIZE not in by_block)
+                ):
+                    offset = addr & PAGE_MASK
+                    if offset + length <= PAGE_BYTES:
+                        page = self._mem_pages.get(addr >> PAGE_SHIFT)
+                        if page is None:
+                            return (0, latency)
+                        return (
+                            int.from_bytes(
+                                page[offset : offset + length], "big"
+                            ),
+                            latency,
+                        )
+            return (self._read_value(addr, length), latency)
+        latency = 0
+        missed = False
+        lines = lines_touched(addr, length, self._line_size)
+        for line in lines:
+            cycles, source = self._fetch(line, exclusive=exclusive)
+            latency += cycles
+            if source != "l1":
+                missed = True
         if self.tx.depth:
             # Both calls are no-ops outside a transaction (and the
             # prefetch consumes RNG only when one is active), so the
@@ -614,7 +689,14 @@ class TxEngine(CpuPort):
             self.fabric.stats_fetches += 1
             directory._clock += 1
             entry.lru = directory._clock
-            self._fetch_wait = None
+            # Only cancel a served interconnect wait armed for *this*
+            # line: during a re-executed multi-line operation, hits on
+            # the already-fetched leading lines must not clear the wait
+            # armed for a trailing line (that would re-probe and re-arm
+            # it forever — a livelock).
+            wait = self._fetch_wait
+            if wait is not None and wait[0] == line:
+                self._fetch_wait = None
             if self.pending_abort is not None:
                 raise TransactionAbortSignal(self.pending_abort)
             m = self.metrics
@@ -623,10 +705,17 @@ class TxEngine(CpuPort):
             return (lat.l1_hit, "l1")
         key = (line, exclusive)
         if self._fetch_wait != key:
-            probe = self.fabric.probe_latency(self.cpu_id, line, exclusive)
-            if probe > lat.l2_hit:
-                self._fetch_wait = key
-                raise FetchRetry(probe - lat.l1_hit)
+            # Own-L2 hit with sufficient ownership: the probe can only
+            # return l2_hit (exclusive-in-L2 rules out the ro_owners
+            # upgrade case), which never triggers a retry — skip it.
+            l2_entry = self._l2_entries.get(line)
+            if l2_entry is None or (
+                exclusive and l2_entry.state is not Ownership.EXCLUSIVE
+            ):
+                probe = self.fabric.probe_latency(self.cpu_id, line, exclusive)
+                if probe > lat.l2_hit:
+                    self._fetch_wait = key
+                    raise FetchRetry(probe - lat.l1_hit)
         self._fetch_wait = None
         outcome = self.fabric.try_fetch(self.cpu_id, line, exclusive)
         # Our own install may have evicted our own footprint (note_l1/l2
@@ -715,43 +804,48 @@ class TxEngine(CpuPort):
         the architected memory image."""
         end = addr + length
         # Fast path: nothing pending anywhere near the access — read the
-        # architected image directly (``_REPEAT0`` supplies the default
-        # for unwritten bytes; ``map`` keeps the loop in C).
-        if not self.stq._entries and (
-            not self.store_cache._by_block
+        # architected image with one page probe and a C-level slice.
+        if not self._stq_entries and (
+            not self._sc_by_block
             or not self.store_cache.overlaps_range(addr, end)
         ):
-            return int.from_bytes(
-                bytes(map(self._mem_get, range(addr, end), _REPEAT0)), "big"
-            )
-        stq_forward = self.stq.forward_byte
-        sc_forward = self.store_cache.forward_byte
-        mem_read = self.memory.read_byte
-        result = bytearray()
-        append = result.append
-        for byte_addr in range(addr, end):
-            value = stq_forward(byte_addr)
-            if value is None:
-                value = sc_forward(byte_addr)
-                if value is None:
-                    value = mem_read(byte_addr)
-            append(value)
-        return int.from_bytes(bytes(result), "big")
+            offset = addr & PAGE_MASK
+            if offset + length <= PAGE_BYTES:
+                page = self._mem_pages.get(addr >> PAGE_SHIFT)
+                if page is None:
+                    return 0
+                return int.from_bytes(page[offset : offset + length], "big")
+            return self.memory.read_int(addr, length)
+        # Buffered stores overlap the access: start from the architected
+        # image, then overlay the store cache and finally the (younger)
+        # store queue, so the youngest pending value wins per byte.
+        buf = bytearray(self.memory.read(addr, length))
+        self.store_cache.overlay_range(addr, buf)
+        if self._stq_entries:
+            self.stq.overlay_range(addr, buf)
+        return int.from_bytes(buf, "big")
 
     def _commit_store(self, addr: int, value: int, length: int, ntstg: bool) -> None:
-        """Push through the STQ into the store cache (instruction-atomic)."""
+        """Buffer a completed store in the gathering store cache.
+
+        Architecturally the store passes through the store queue first,
+        but our stores are instruction-atomic: the queue would be pushed
+        and drained within this very call (it is empty at every other
+        program point), so the entry bounce is elided and the data
+        gathers directly. ``self.stq`` remains part of the engine for
+        the forwarding-order semantics it documents and for callers that
+        queue stores explicitly.
+        """
         mask = (1 << (8 * length)) - 1
         data = (value & mask).to_bytes(length, "big")
-        in_tx = self.tx.active
-        self.stq.push(addr, data, tx=in_tx, ntstg=ntstg)
-        for entry in self.stq.drain():
-            try:
-                self.store_cache.store(entry.addr, entry.data, tx=entry.tx,
-                                       ntstg=entry.ntstg)
-            except StoreCacheOverflow:
-                self._abort_now(AbortCode.STORE_OVERFLOW)
-                self.raise_if_pending()
-        self.memory.apply_writes(self.store_cache.take_drained())
+        try:
+            self.store_cache.store(addr, data, tx=self.tx.active, ntstg=ntstg)
+        except StoreCacheOverflow:
+            self._abort_now(AbortCode.STORE_OVERFLOW)
+            self.raise_if_pending()
+        drained = self.store_cache.take_drained()
+        if drained:
+            self.memory.apply_runs(drained)
 
     def _check_per_store(self, addr: int, length: int) -> None:
         if self.per.storage_range is None:
@@ -860,13 +954,16 @@ class TxEngine(CpuPort):
         # Invalidate speculative data: tx-dirty L1 lines vanish, pending
         # transactional stores are dropped (NTSTG doublewords survive),
         # the read set is forgotten.
+        probe_invalidate = self.fabric.probe_invalidate
         for entry in self.l1.abort_transaction():
             # The line stays valid in the L2 (it is clean there: store-cache
-            # writeback to the L2 was blocked), so ownership is unchanged.
-            pass
+            # writeback to the L2 was blocked), so ownership is unchanged —
+            # but the line left this CPU's L1 directory, so any memoised
+            # probe result for it is stale.
+            probe_invalidate(entry.line)
         self.stq.invalidate_tx()
         self.store_cache.abort_transaction()
-        self.memory.apply_writes(self.store_cache.take_drained())
+        self.memory.apply_runs(self.store_cache.take_drained())
         self.tx.read_set.clear()
         self.tx.octowords.clear()
         self.solo_requested = False
@@ -926,7 +1023,7 @@ class TxEngine(CpuPort):
             extra = 0
             if self.store_cache.xi_compare(line) == "drain":
                 drained = self.store_cache.drain_line(line)
-                self.memory.apply_writes(self.store_cache.take_drained())
+                self.memory.apply_runs(self.store_cache.take_drained())
                 extra = drained * self.params.latencies.store_cache_drain
             self._apply_xi(xi)
             m = self.metrics
@@ -951,7 +1048,7 @@ class TxEngine(CpuPort):
             self._abort_now(AbortCode.CACHE_STORE_RELATED, conflict_token=line)
         elif self.store_cache.xi_compare(line) == "drain":
             self.store_cache.drain_line(line)
-            self.memory.apply_writes(self.store_cache.take_drained())
+            self.memory.apply_runs(self.store_cache.take_drained())
         self._apply_xi(xi)
         m = self.metrics
         if m is not None:
@@ -987,7 +1084,7 @@ class TxEngine(CpuPort):
         extra = 0
         if self.store_cache.xi_compare(xi.line) == "drain":
             drained = self.store_cache.drain_line(xi.line)
-            self.memory.apply_writes(self.store_cache.take_drained())
+            self.memory.apply_runs(self.store_cache.take_drained())
             extra = drained * self.params.latencies.store_cache_drain
         self._apply_xi(xi)
         m = self.metrics

@@ -97,6 +97,10 @@ class IsaCpu:
         self._branch_tuple: Dict[int, tuple] = {}
         #: Address -> pre-decoded record (see :class:`_Decoded`).
         self._decoded: Dict[int, _Decoded] = self._predecode(program)
+        #: Bound-method/object aliases for the per-step hot path (the
+        #: PSW and decode table are created once and never rebound).
+        self._decoded_get = self._decoded.get
+        self._psw = self.regs.psw
 
     def _predecode(self, program: Program) -> Dict[int, _Decoded]:
         decoded: Dict[int, _Decoded] = {}
@@ -148,9 +152,9 @@ class IsaCpu:
         """
         if self.done:
             return 0
-        psw = self.regs.psw
+        psw = self._psw
         ia = psw.instruction_address
-        dec = self._decoded.get(ia)
+        dec = self._decoded_get(ia)
         if dec is None:
             self.done = True
             return 0
@@ -165,12 +169,15 @@ class IsaCpu:
                         InterruptionCode.PER_EVENT, ia,
                         instruction_fetch=False,
                     )
+            # ``note_tx_instruction`` cannot change the depth without
+            # raising, so one read serves both transactional checks.
+            depth = self._eng_tx.depth
             if not dec.pseudo:
                 if engine.pending_abort is not None:
                     raise TransactionAbortSignal(engine.pending_abort)
-                if self._retrying != ia and self._eng_tx.depth:
+                if depth and self._retrying != ia:
                     engine.note_tx_instruction()
-            if self._eng_tx.depth:
+            if depth:
                 self._check_restrictions(ia, dec.insn)
             taken_target: Optional[int] = None
             latency = dec.handler(ia, dec.insn)
@@ -179,7 +186,12 @@ class IsaCpu:
             self._retrying = None
             self.stats_instructions += 1
             if taken_target is not None:
-                self._branch_to(taken_target)
+                if per.branch_range is None:
+                    # ``_branch_to`` without a PER branch range is just
+                    # the PSW update.
+                    psw.instruction_address = taken_target
+                else:
+                    self._branch_to(taken_target)
             else:
                 psw.instruction_address = dec.next_ia
             event = engine.pending_per_event
@@ -187,9 +199,13 @@ class IsaCpu:
                 engine.pending_per_event = None
                 self.os.note_per_event(event)
             return latency + self._cost_base
-        except FetchRetry:
+        except FetchRetry as retry:
+            # Absorb the stiff-arm here instead of unwinding through the
+            # scheduler: the scheduler would convert the exception into
+            # ``latency = retry.delay`` anyway, and raising across the
+            # step boundary costs more than returning.
             self._retrying = ia
-            raise
+            return retry.delay
         except TransactionAbortSignal as signal:
             self._retrying = None
             return self._handle_abort(signal.abort)

@@ -22,6 +22,7 @@ using :class:`repro.params.Latencies`.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import ProtocolError
@@ -142,10 +143,20 @@ class CoherenceFabric:
         #: Per-registered-CPU L1/L2 eviction callbacks (filled in register).
         self._l1_evict_cbs: List = []
         self._l2_evict_cbs: List = []
+        #: Memoized probe results: line -> {(cpu, exclusive): latency}.
+        #: Every state transition that could change a probe result for a
+        #: line (ownership transfer, XI, private/shared-cache eviction or
+        #: install) calls :meth:`probe_invalidate` for that line; see the
+        #: call sites below and ``TxEngine._abort_now``. With
+        #: ``REPRO_PROBE_CHECK=1`` in the environment every cache hit is
+        #: re-verified against a fresh computation (used by the tests).
+        self._probe_cache: Dict[int, Dict[Tuple[int, bool], int]] = {}
+        self._probe_check = bool(os.environ.get("REPRO_PROBE_CHECK"))
         # statistics
         self.stats_fetches = 0
         self.stats_rejects = 0
         self.stats_xis = 0
+        self.stats_probe_hits = 0
 
     # -- registration -------------------------------------------------------
 
@@ -156,8 +167,14 @@ class CoherenceFabric:
             raise ProtocolError("more CPUs than the topology supports")
         self._ports.append(port)
         # Pre-bound eviction callbacks, so the install fast path does not
-        # allocate a closure per miss.
-        self._l1_evict_cbs.append(port.note_l1_eviction)
+        # allocate a closure per miss. The L1 victim leaves the CPU's L1,
+        # so its memoized probe results are stale.
+        self._l1_evict_cbs.append(
+            lambda entry, _note=port.note_l1_eviction,
+            _pop=self._probe_cache.pop: (
+                _pop(entry.line, None), _note(entry)
+            )[1]
+        )
         self._l2_evict_cbs.append(
             lambda victim, _port=port: self._evict_from_private(
                 _port, victim.line
@@ -207,6 +224,7 @@ class CoherenceFabric:
             info.ro_owners.discard(cpu)
             info.ex_owner = cpu
             self._set_private_state(port, line, Ownership.EXCLUSIVE)
+            self._probe_cache.pop(line, None)
             return FetchOutcome(True, latency, "upgrade")
 
         # L2 hit with sufficient ownership: refill the L1.
@@ -216,6 +234,7 @@ class CoherenceFabric:
         ):
             port.l2.directory.touch(l2_entry)
             self._install_l1(port, line, l2_entry.state)
+            self._probe_cache.pop(line, None)
             return FetchOutcome(True, lat.l2_hit, "l2")
 
         # Full miss: the line must come from another CPU, a shared cache,
@@ -265,6 +284,7 @@ class CoherenceFabric:
         self._install_shared(cpu, line)
         self._install_l2(port, line, want)
         self._install_l1(port, line, want)
+        self._probe_cache.pop(line, None)
         return FetchOutcome(True, latency, source)
 
     @staticmethod
@@ -272,6 +292,10 @@ class CoherenceFabric:
         if exclusive:
             return state is Ownership.EXCLUSIVE
         return state.grants_load()
+
+    def probe_invalidate(self, line: int) -> None:
+        """Drop memoized probe results for ``line`` (state changed)."""
+        self._probe_cache.pop(line, None)
 
     def probe_latency(self, cpu: int, line: int, exclusive: bool) -> int:
         """Estimate the fetch latency without performing the fetch.
@@ -281,7 +305,31 @@ class CoherenceFabric:
         the data actually arrives, so a transaction is not exposed to
         conflicts on a line it is still waiting for. No XIs are sent and
         no state is modified.
+
+        Results are memoized per (line, cpu, exclusive) until the next
+        coherence event on the line (see :meth:`probe_invalidate`).
         """
+        memo = self._probe_cache.get(line)
+        if memo is None:
+            memo = self._probe_cache[line] = {}
+        else:
+            cached = memo.get((cpu, exclusive))
+            if cached is not None:
+                if self._probe_check:
+                    fresh = self._probe_latency_uncached(cpu, line, exclusive)
+                    if fresh != cached:
+                        raise ProtocolError(
+                            f"stale probe memo for line {line:#x} cpu {cpu} "
+                            f"exclusive={exclusive}: cached {cached}, "
+                            f"fresh {fresh}"
+                        )
+                self.stats_probe_hits += 1
+                return cached
+        latency = self._probe_latency_uncached(cpu, line, exclusive)
+        memo[(cpu, exclusive)] = latency
+        return latency
+
+    def _probe_latency_uncached(self, cpu: int, line: int, exclusive: bool) -> int:
         port = self._ports[cpu]
         lat = self.lat
         entry = port.l1.directory.lookup(line)
@@ -340,6 +388,9 @@ class CoherenceFabric:
 
     def _send_xi(self, xi: Xi) -> Tuple[XiResponse, int]:
         self.stats_xis += 1
+        # The target mutates its own directories (or aborts) while
+        # answering, so every memoized probe of the line is suspect.
+        self._probe_cache.pop(xi.line, None)
         response, extra = self._ports[xi.target].receive_xi(xi)
         if response is XiResponse.REJECT and not xi.xi_type.rejectable:
             raise ProtocolError(f"{xi.xi_type} XI cannot be rejected")
@@ -354,6 +405,7 @@ class CoherenceFabric:
             self._send_xi(Xi(XiType.READ_ONLY, line, except_cpu, owner))
             latency = self.lat.xi_round_trip  # overlapped, charge once
         info.ro_owners = {o for o in info.ro_owners if o == except_cpu}
+        self._probe_cache.pop(line, None)
         return latency
 
     # -- private-cache installation with eviction cascades ------------------------
@@ -376,6 +428,7 @@ class CoherenceFabric:
 
     def _evict_from_private(self, port: CpuPort, line: int) -> None:
         """A line leaves a CPU's L2 (and, by inclusivity, its L1)."""
+        self._probe_cache.pop(line, None)
         l1_entry = port.l1.directory.remove(line)
         if l1_entry is not None:
             # The line is leaving the hierarchy entirely, so the
@@ -413,12 +466,14 @@ class CoherenceFabric:
 
     def _lru_cascade_l3(self, cpu: int, victim: int) -> None:
         """An L3 eviction sends LRU XIs to the cores under that chip."""
+        self._probe_cache.pop(victim, None)
         chip = self._chip_of_cpu[cpu]
         chip_of = self._chip_of_cpu
         self._lru_xi_below(victim, lambda c: chip_of[c] == chip)
 
     def _lru_cascade_l4(self, cpu: int, victim: int) -> None:
         """An L4 eviction empties the MCM: L3s below and their cores."""
+        self._probe_cache.pop(victim, None)
         mcm = self._mcm_of_cpu[cpu]
         mcm_of_chip = self._mcm_of_chip
         for l3 in self.l3s:
@@ -488,10 +543,12 @@ class CoherenceFabric:
 
     def drop_l1_copy(self, cpu: int, line: int) -> None:
         """Abort path: a tx-dirty line leaves the L1 (it stays in the L2)."""
+        self._probe_cache.pop(line, None)
         self._ports[cpu].l1.directory.remove(line)
 
     def release_line(self, cpu: int, line: int) -> None:
         """Remove ``line`` from a CPU's private caches and the ownership map."""
+        self._probe_cache.pop(line, None)
         port = self._ports[cpu]
         port.l1.directory.remove(line)
         port.l2.directory.remove(line)

@@ -5,48 +5,105 @@ memory image. Pending transactional (and gathered non-transactional) stores
 live in the per-CPU store queue and gathering store cache until they drain
 here — see :mod:`repro.mem.storequeue` and :mod:`repro.mem.storecache`.
 
-Values are stored as unsigned integers per naturally-addressed byte; typed
+The image is stored as paged ``bytearray`` chunks (64 KiB each) in a
+sparse page dict, so multi-byte accesses and the store-cache drain path
+run as C-level slice operations instead of a Python loop per byte. Typed
 accessors read/write big-endian two's-complement integers of 1..16 bytes,
-matching z/Architecture's big-endian layout.
+matching z/Architecture's big-endian layout; unwritten bytes read as zero.
 """
 
 from __future__ import annotations
 
-from itertools import repeat
 from typing import Dict, Iterable, Tuple
 
 from ..errors import ConfigurationError
 
+#: log2 of the backing-page size. 64 KiB keeps the page dict tiny for the
+#: benchmark footprints while staying far below malloc-arena sizes.
+PAGE_SHIFT = 16
+PAGE_BYTES = 1 << PAGE_SHIFT
+PAGE_MASK = PAGE_BYTES - 1
+
 
 class MainMemory:
-    """Sparse byte-addressable memory. Unwritten bytes read as zero."""
+    """Sparse paged byte-addressable memory. Unwritten bytes read as zero."""
+
+    __slots__ = ("_pages",)
 
     def __init__(self) -> None:
-        self._bytes: Dict[int, int] = {}
+        #: page index (``addr >> PAGE_SHIFT``) -> 64 KiB bytearray.
+        self._pages: Dict[int, bytearray] = {}
+
+    def _page(self, index: int) -> bytearray:
+        page = self._pages.get(index)
+        if page is None:
+            page = bytearray(PAGE_BYTES)
+            self._pages[index] = page
+        return page
 
     def read_byte(self, addr: int) -> int:
-        return self._bytes.get(addr, 0)
+        page = self._pages.get(addr >> PAGE_SHIFT)
+        return page[addr & PAGE_MASK] if page is not None else 0
 
     def write_byte(self, addr: int, value: int) -> None:
-        self._bytes[addr] = value & 0xFF
+        self._page(addr >> PAGE_SHIFT)[addr & PAGE_MASK] = value & 0xFF
 
     def read(self, addr: int, length: int) -> bytes:
         """Read ``length`` raw bytes starting at ``addr``."""
         if length < 0:
             raise ConfigurationError("length must be non-negative")
-        # map() keeps the per-byte loop in C.
-        return bytes(
-            map(self._bytes.get, range(addr, addr + length), repeat(0, length))
-        )
+        offset = addr & PAGE_MASK
+        if offset + length <= PAGE_BYTES:
+            # Single-page access — the overwhelmingly common case.
+            page = self._pages.get(addr >> PAGE_SHIFT)
+            if page is None:
+                return bytes(length)
+            return bytes(page[offset : offset + length])
+        parts = []
+        index = addr >> PAGE_SHIFT
+        remaining = length
+        pages = self._pages
+        while remaining > 0:
+            take = min(PAGE_BYTES - offset, remaining)
+            page = pages.get(index)
+            parts.append(
+                bytes(take) if page is None
+                else bytes(page[offset : offset + take])
+            )
+            remaining -= take
+            offset = 0
+            index += 1
+        return b"".join(parts)
 
     def write(self, addr: int, data: bytes) -> None:
         """Write raw bytes starting at ``addr``."""
-        store = self._bytes
-        for i, b in enumerate(data):
-            store[addr + i] = b
+        length = len(data)
+        if length == 0:
+            return
+        offset = addr & PAGE_MASK
+        if offset + length <= PAGE_BYTES:
+            self._page(addr >> PAGE_SHIFT)[offset : offset + length] = data
+            return
+        view = memoryview(data)
+        index = addr >> PAGE_SHIFT
+        pos = 0
+        while pos < length:
+            take = min(PAGE_BYTES - offset, length - pos)
+            self._page(index)[offset : offset + take] = view[pos : pos + take]
+            pos += take
+            offset = 0
+            index += 1
 
     def read_int(self, addr: int, length: int, signed: bool = False) -> int:
         """Read a big-endian integer of ``length`` bytes."""
+        offset = addr & PAGE_MASK
+        if offset + length <= PAGE_BYTES:
+            page = self._pages.get(addr >> PAGE_SHIFT)
+            if page is None:
+                return 0
+            return int.from_bytes(
+                page[offset : offset + length], "big", signed=signed
+            )
         return int.from_bytes(self.read(addr, length), "big", signed=signed)
 
     def write_int(self, addr: int, value: int, length: int) -> None:
@@ -55,11 +112,35 @@ class MainMemory:
         self.write(addr, (value & mask).to_bytes(length, "big"))
 
     def apply_writes(self, writes: Iterable[Tuple[int, int]]) -> None:
-        """Apply ``(byte_address, value)`` pairs (store-cache drain path)."""
-        store = self._bytes
+        """Apply ``(byte_address, value)`` pairs (legacy single-byte path)."""
+        pages = self._pages
         for addr, value in writes:
-            store[addr] = value & 0xFF
+            page = pages.get(addr >> PAGE_SHIFT)
+            if page is None:
+                page = bytearray(PAGE_BYTES)
+                pages[addr >> PAGE_SHIFT] = page
+            page[addr & PAGE_MASK] = value & 0xFF
+
+    def apply_runs(self, runs: Iterable[Tuple[int, bytes]]) -> None:
+        """Apply ``(address, data)`` runs (the store-cache drain path).
+
+        Each run is a contiguous byte string; runs are applied in order,
+        so later runs overwrite earlier ones where they overlap.
+        """
+        for addr, data in runs:
+            self.write(addr, data)
 
     def footprint(self) -> int:
-        """Number of distinct bytes ever written (for tests/diagnostics)."""
-        return len(self._bytes)
+        """Number of bytes currently holding a non-zero value.
+
+        Under the paged representation a byte that was only ever written
+        with zero is indistinguishable from an unwritten byte (both read
+        as zero), so the old "distinct bytes ever written" definition is
+        unimplementable without shadow bookkeeping on the hot path. The
+        footprint is therefore defined as the count of bytes whose current
+        value differs from the unwritten default — i.e. the bytes that are
+        observably written (tests/diagnostics only; O(resident pages)).
+        """
+        return sum(
+            PAGE_BYTES - page.count(0) for page in self._pages.values()
+        )

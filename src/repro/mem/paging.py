@@ -41,11 +41,20 @@ class PageTable:
 
     def first_missing(self, addr: int, length: int) -> int:
         """First non-present byte address of an access, or -1 if none."""
-        if not self._missing:
+        missing = self._missing
+        if not missing:
             return -1
         first = page_address(addr)
         last = page_address(addr + max(length, 1) - 1)
+        if (last - first) // PAGE_SIZE + 1 > len(missing):
+            # Fewer missing pages than pages in the access: scan the set
+            # instead of probing every page of a huge access.
+            best = -1
+            for page in missing:
+                if first <= page <= last and (best == -1 or page < best):
+                    best = page
+            return max(best, addr) if best != -1 else -1
         for page in range(first, last + PAGE_SIZE, PAGE_SIZE):
-            if page in self._missing:
+            if page in missing:
                 return max(page, addr)
         return -1

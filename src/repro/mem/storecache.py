@@ -22,6 +22,13 @@ Modelled faithfully from the paper:
   the current transaction — aborts the transaction;
 * a per-doubleword **NTSTG mark** keeps non-transactional-store data valid
   across transaction aborts.
+
+Entries store their 128 data bytes in a ``bytearray`` with the valid bits
+as an integer bitmask, so gathering, load forwarding and draining are
+slice/mask operations instead of per-byte dict probes. Drained data is
+emitted as contiguous ``(address, bytes)`` runs (see :meth:`take_drained`)
+that :meth:`repro.mem.memory.MainMemory.apply_runs` applies with C-level
+slice writes.
 """
 
 from __future__ import annotations
@@ -33,28 +40,35 @@ from .address import DOUBLEWORD, doubleword_address, line_address
 
 
 BLOCK_SIZE = 128
+_BLOCK_MASK = ~(BLOCK_SIZE - 1)
+_FULL_DW_MASK = 0xFF  # valid bits of one doubleword
 
 
 def block_address(addr: int) -> int:
     """Align ``addr`` down to a store-cache block (128 bytes)."""
-    return addr & ~(BLOCK_SIZE - 1)
+    return addr & _BLOCK_MASK
 
 
 class StoreCacheEntry:
-    """One 128-byte gathering entry with byte-precise valid bits."""
+    """One 128-byte gathering entry with byte-precise valid bits.
 
-    __slots__ = ("block", "bytes_", "tx", "closed", "ntstg_doublewords")
+    ``data`` holds the byte values; bit ``i`` of ``valid`` says whether
+    ``data[i]`` holds buffered store data (invalid bytes are never read).
+    """
+
+    __slots__ = ("block", "data", "valid", "tx", "closed",
+                 "ntstg_doublewords")
 
     def __init__(
         self,
         block: int,
-        bytes_: Dict[int, int] = None,  # offset -> value
         tx: bool = False,
         closed: bool = False,
         ntstg_doublewords: Set[int] = None,  # block offsets
     ) -> None:
         self.block = block
-        self.bytes_ = {} if bytes_ is None else bytes_
+        self.data = bytearray(BLOCK_SIZE)
+        self.valid = 0
         self.tx = tx
         self.closed = closed
         self.ntstg_doublewords = (
@@ -64,46 +78,94 @@ class StoreCacheEntry:
     def __repr__(self) -> str:
         return (
             f"StoreCacheEntry(block={self.block:#x}, tx={self.tx}, "
-            f"closed={self.closed}, valid_bytes={len(self.bytes_)})"
+            f"closed={self.closed}, valid_bytes={self.valid_count()})"
         )
+
+    def valid_count(self) -> int:
+        """Number of valid bytes in the entry."""
+        return bin(self.valid).count("1")
 
     def gather(self, addr: int, data: bytes, ntstg: bool = False) -> None:
         offset = addr - self.block
-        if offset < 0 or offset + len(data) > BLOCK_SIZE:
+        length = len(data)
+        if offset < 0 or offset + length > BLOCK_SIZE:
             raise ProtocolError("store does not fit the store-cache block")
-        for i, value in enumerate(data):
-            self.bytes_[offset + i] = value
+        self.data[offset : offset + length] = data
+        self.valid |= ((1 << length) - 1) << offset
         if ntstg:
             first = doubleword_address(addr) - self.block
-            last = doubleword_address(addr + len(data) - 1) - self.block
+            last = doubleword_address(addr + length - 1) - self.block
             for dw in range(first, last + DOUBLEWORD, DOUBLEWORD):
                 self.ntstg_doublewords.add(dw)
 
     def byte_at(self, byte_addr: int) -> Optional[int]:
-        return self.bytes_.get(byte_addr - self.block)
+        offset = byte_addr - self.block
+        if (self.valid >> offset) & 1:
+            return self.data[offset]
+        return None
 
     def line(self) -> int:
         """The 256-byte cache line containing this block."""
         return line_address(self.block)
 
-    def writes(self) -> List[Tuple[int, int]]:
-        """(byte address, value) pairs for draining to memory."""
-        return [(self.block + off, val) for off, val in sorted(self.bytes_.items())]
+    def runs(self) -> List[Tuple[int, bytes]]:
+        """Contiguous ``(address, data)`` runs of the valid bytes."""
+        result: List[Tuple[int, bytes]] = []
+        valid = self.valid
+        data = self.data
+        base = self.block
+        offset = 0
+        while valid:
+            skip = (valid & -valid).bit_length() - 1
+            valid >>= skip
+            offset += skip
+            # Length of the run of trailing one-bits.
+            run = ((valid + 1) & ~valid).bit_length() - 1
+            result.append((base + offset, bytes(data[offset : offset + run])))
+            valid >>= run
+            offset += run
+        return result
+
+    def overlay(self, addr: int, buf: bytearray) -> None:
+        """Copy the entry's valid bytes overlapping ``buf`` into it.
+
+        ``buf`` covers the byte addresses ``[addr, addr + len(buf))``.
+        Fully-valid overlaps (the common case) are one slice copy.
+        """
+        block = self.block
+        lo = addr if addr > block else block
+        end = addr + len(buf)
+        block_end = block + BLOCK_SIZE
+        hi = end if end < block_end else block_end
+        if lo >= hi:
+            return
+        offset = lo - block
+        length = hi - lo
+        segment = ((1 << length) - 1) << offset
+        valid = self.valid & segment
+        if valid == segment:
+            buf[lo - addr : hi - addr] = self.data[offset : offset + length]
+        elif valid:
+            data = self.data
+            shift = block - addr
+            while valid:
+                bit = valid & -valid
+                i = bit.bit_length() - 1
+                buf[shift + i] = data[i]
+                valid ^= bit
 
     def strip_to_ntstg(self) -> bool:
         """On abort, keep only NTSTG-marked doublewords.
 
         Returns True if any bytes survive.
         """
-        surviving = {
-            off: val
-            for off, val in self.bytes_.items()
-            if (off & ~(DOUBLEWORD - 1)) in self.ntstg_doublewords
-        }
-        self.bytes_ = surviving
+        mask = 0
+        for dw in self.ntstg_doublewords:
+            mask |= _FULL_DW_MASK << dw
+        self.valid &= mask
         self.tx = False
         self.closed = True
-        return bool(surviving)
+        return bool(self.valid)
 
 
 class StoreCacheOverflow(Exception):
@@ -128,10 +190,12 @@ class GatheringStoreCache:
         self.drain_threshold = drain_threshold
         self._queue: List[StoreCacheEntry] = []  # oldest first
         #: Block address -> entries for that block, in queue (age) order.
-        #: Pure index over ``_queue`` for O(1) load-forwarding misses.
+        #: Pure index over ``_queue``: load forwarding does one dict
+        #: lookup per touched 128-byte block instead of scanning entries.
         self._by_block: Dict[int, List[StoreCacheEntry]] = {}
-        #: Writes drained since the last ``take_drained`` call, in order.
-        self._drained: List[Tuple[int, int]] = []
+        #: Contiguous (address, bytes) runs drained since the last
+        #: ``take_drained`` call, in drain order.
+        self._drained: List[Tuple[int, bytes]] = []
         #: Statistics.
         self.stats_gathered = 0
         self.stats_allocated = 0
@@ -172,14 +236,14 @@ class GatheringStoreCache:
         drained = 0
         pos = 0
         while pos < len(data):
-            block = block_address(addr + pos)
+            block = (addr + pos) & _BLOCK_MASK
             take = min(len(data) - pos, block + BLOCK_SIZE - (addr + pos))
             drained += self._store_block(addr + pos, data[pos : pos + take], tx, ntstg)
             pos += take
         return drained
 
     def _store_block(self, addr: int, data: bytes, tx: bool, ntstg: bool) -> int:
-        block = block_address(addr)
+        block = addr & _BLOCK_MASK
         entry = self._gather_target(block, tx)
         drained = 0
         if entry is None:
@@ -233,7 +297,7 @@ class GatheringStoreCache:
         """Write back the oldest non-transactional entry, if one exists."""
         for i, entry in enumerate(self._queue):
             if not entry.tx:
-                self._drained.extend(entry.writes())
+                self._drained.extend(entry.runs())
                 del self._queue[i]
                 self._unindex(entry)
                 self.stats_drained_entries += 1
@@ -244,24 +308,39 @@ class GatheringStoreCache:
 
     def forward_byte(self, byte_addr: int) -> Optional[int]:
         """Youngest buffered value for ``byte_addr``, or None."""
-        candidates = self._by_block.get(byte_addr & ~(BLOCK_SIZE - 1))
+        candidates = self._by_block.get(byte_addr & _BLOCK_MASK)
         if candidates:
             offset = byte_addr - candidates[0].block
             for entry in reversed(candidates):
-                value = entry.bytes_.get(offset)
-                if value is not None:
-                    return value
+                if (entry.valid >> offset) & 1:
+                    return entry.data[offset]
         return None
 
     def overlaps_range(self, addr: int, end: int) -> bool:
         """True if any buffered entry could hold a byte of [addr, end)."""
         by_block = self._by_block
-        block = addr & ~(BLOCK_SIZE - 1)
+        block = addr & _BLOCK_MASK
         while block < end:
             if block in by_block:
                 return True
             block += BLOCK_SIZE
         return False
+
+    def overlay_range(self, addr: int, buf: bytearray) -> None:
+        """Overlay every buffered byte of ``[addr, addr + len(buf))``.
+
+        Entries are applied oldest-first per block, so the youngest
+        buffered value wins — the store-forwarding order.
+        """
+        by_block = self._by_block
+        end = addr + len(buf)
+        block = addr & _BLOCK_MASK
+        while block < end:
+            candidates = by_block.get(block)
+            if candidates:
+                for entry in candidates:
+                    entry.overlay(addr, buf)
+            block += BLOCK_SIZE
 
     # -- transactional lifecycle --------------------------------------------
 
@@ -328,7 +407,7 @@ class GatheringStoreCache:
         remaining: List[StoreCacheEntry] = []
         for entry in self._queue:
             if entry.line() == line and not entry.tx:
-                self._drained.extend(entry.writes())
+                self._drained.extend(entry.runs())
                 self._unindex(entry)
                 self.stats_drained_entries += 1
                 drained += 1
@@ -344,7 +423,7 @@ class GatheringStoreCache:
             drained += 1
         return drained
 
-    def take_drained(self) -> List[Tuple[int, int]]:
-        """Collect (address, byte) writes drained since the last call."""
-        writes, self._drained = self._drained, []
-        return writes
+    def take_drained(self) -> List[Tuple[int, bytes]]:
+        """Collect the ``(address, data)`` runs drained since the last call."""
+        runs, self._drained = self._drained, []
+        return runs

@@ -12,13 +12,18 @@ semantics, (ii) the tx marks that are cleared at TEND ("effectively turning
 the pending stores into normal stores") or invalidated on abort ("all
 pending transactional stores are invalidated from the STQ, even those
 already completed"), and (iii) the XI-reject condition for queued stores.
+
+Entries are indexed by 128-byte block (the store-cache gathering granule),
+so load forwarding resolves with one dict lookup plus an overlap check per
+touched block instead of scanning the queue per byte.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from .address import line_address
+from .storecache import BLOCK_SIZE, _BLOCK_MASK
 
 
 class StoreQueueEntry:
@@ -49,29 +54,71 @@ class StoreQueueEntry:
     def byte_at(self, byte_addr: int) -> int:
         return self.data[byte_addr - self.addr]
 
+    def overlay(self, addr: int, buf: bytearray) -> None:
+        """Copy the bytes overlapping ``[addr, addr + len(buf))`` into buf."""
+        lo = max(addr, self.addr)
+        hi = min(addr + len(buf), self.addr + len(self.data))
+        if lo < hi:
+            buf[lo - addr : hi - addr] = (
+                self.data[lo - self.addr : hi - self.addr]
+            )
+
 
 class StoreQueue:
     """FIFO of pending stores with store-forwarding support."""
 
     def __init__(self) -> None:
         self._entries: List[StoreQueueEntry] = []
+        #: 128-byte block address -> entries touching that block, in
+        #: program (age) order. Pure index over ``_entries``.
+        self._by_block: Dict[int, List[StoreQueueEntry]] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
 
+    def _index(self, entry: StoreQueueEntry) -> None:
+        first = entry.addr & _BLOCK_MASK
+        last = (entry.addr + len(entry.data) - 1) & _BLOCK_MASK
+        by_block = self._by_block
+        for block in range(first, last + BLOCK_SIZE, BLOCK_SIZE):
+            by_block.setdefault(block, []).append(entry)
+
+    def _reindex(self) -> None:
+        self._by_block.clear()
+        for entry in self._entries:
+            self._index(entry)
+
     def push(self, addr: int, data: bytes, tx: bool = False, ntstg: bool = False) -> None:
-        self._entries.append(StoreQueueEntry(addr, bytes(data), tx=tx, ntstg=ntstg))
+        entry = StoreQueueEntry(addr, bytes(data), tx=tx, ntstg=ntstg)
+        self._entries.append(entry)
+        self._index(entry)
 
     def forward_byte(self, byte_addr: int) -> Optional[int]:
         """Youngest pending value for ``byte_addr``, or None."""
-        for entry in reversed(self._entries):
-            if entry.covers(byte_addr):
-                return entry.byte_at(byte_addr)
+        candidates = self._by_block.get(byte_addr & _BLOCK_MASK)
+        if candidates:
+            for entry in reversed(candidates):
+                if entry.addr <= byte_addr < entry.addr + len(entry.data):
+                    return entry.data[byte_addr - entry.addr]
         return None
 
+    def overlay_range(self, addr: int, buf: bytearray) -> None:
+        """Overlay every pending byte of ``[addr, addr + len(buf))``.
+
+        Entries apply in program order, so the youngest store wins.
+        """
+        for entry in self._entries:
+            entry.overlay(addr, buf)
+
     def drain(self) -> List[StoreQueueEntry]:
-        """Pop every entry in program order (writeback to L1/store cache)."""
-        drained, self._entries = self._entries, []
+        """Pop every entry in program order (writeback to L1/store cache).
+
+        ``_entries`` is cleared in place — the engine holds an alias to
+        the list for its load fast path's emptiness check.
+        """
+        drained = self._entries[:]
+        self._entries.clear()
+        self._by_block.clear()
         return drained
 
     def clear_tx_marks(self) -> None:
@@ -83,7 +130,9 @@ class StoreQueue:
         """Abort: drop transactional stores; NTSTG entries survive."""
         kept = [e for e in self._entries if not e.tx or e.ntstg]
         dropped = [e for e in self._entries if e.tx and not e.ntstg]
-        self._entries = kept
+        if dropped:
+            self._entries[:] = kept
+            self._reindex()
         return dropped
 
     def lines_pending(self) -> set:

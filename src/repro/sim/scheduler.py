@@ -82,13 +82,21 @@ class Scheduler:
         solo_waiters = self._solo_waiters
         heappop = heapq.heappop
         heappush = heapq.heappush
+        heappushpop = heapq.heappushpop
         pre_step = self.pre_step
         limit = max_cycles
-        while heap or deferred:
-            if not heap:
-                self._flush_deferred()
-                continue
-            time, _, index = heappop(heap)
+        event = None
+        while True:
+            if event is None:
+                if heap:
+                    event = heappop(heap)
+                elif deferred:
+                    self._flush_deferred()
+                    continue
+                else:
+                    break
+            time, _, index = event
+            event = None
             driver = drivers[index]
             if driver.done:
                 continue
@@ -111,22 +119,59 @@ class Scheduler:
                 if solo is not None and index != solo:
                     deferred.append((time, index))
                     continue
-            if time > self.now:
-                self.now = time
-            if pre_step is not None:
-                pre_step(index, self.now)
-            try:
-                latency = driver.step()
-            except FetchRetry as retry:
-                latency = retry.delay
-            end = time + latency if latency > 0 else time
+            # Heap-eliding fast loop. While this driver's next deadline
+            # strictly precedes every queued event, re-pushing and
+            # popping it would hand the CPU straight back — so step it
+            # in a tight local loop instead. Strict comparison is
+            # required: at equal times the queued event carries the
+            # smaller sequence number and must run first. The loop is
+            # left (falling back to the heap) the moment any cross-CPU
+            # machinery could engage: the driver finishing, a
+            # broadcast-stop request or deferral appearing, or the next
+            # deadline reaching another CPU's event.
+            engine = driver.engine
+            while True:
+                if time > self.now:
+                    self.now = time
+                if pre_step is not None:
+                    pre_step(index, self.now)
+                try:
+                    latency = driver.step()
+                except FetchRetry as retry:
+                    latency = retry.delay
+                end = time + latency if latency > 0 else time
+                if (
+                    driver.done
+                    or engine.solo_requested
+                    or solo_waiters
+                    or deferred
+                    or self._stop_applied_for != "idle"
+                    or (heap and end >= heap[0][0])
+                ):
+                    break
+                if limit is not None and end > limit:
+                    # Mirror of the pop-time budget check for the event
+                    # whose push was elided.
+                    if end > self._horizon:
+                        self._horizon = end
+                    self.now = limit
+                    return self.now
+                time = end
             if end > self._horizon:
                 self._horizon = end
             if not driver.done:
                 self._seq += 1
-                heappush(heap, (end, self._seq, index))
-                if driver.engine.solo_requested:
+                item = (end, self._seq, index)
+                if engine.solo_requested:
+                    heappush(heap, item)
                     solo_waiters.add(index)
+                elif heap and not deferred and not solo_waiters:
+                    # Nothing can run between this push and the next pop,
+                    # so fuse them; the popped event still flows through
+                    # the full solo/limit checks above.
+                    event = heappushpop(heap, item)
+                else:
+                    heappush(heap, item)
             if deferred and self._solo_index() is None:
                 self._flush_deferred()
         if self._horizon > self.now:

@@ -2,7 +2,7 @@
 
 from hypothesis import given, strategies as st
 
-from repro.mem.memory import MainMemory
+from repro.mem.memory import PAGE_BYTES, MainMemory
 
 
 def test_unwritten_bytes_read_zero():
@@ -45,11 +45,38 @@ def test_apply_writes():
     assert memory.read(10, 2) == b"CB"
 
 
-def test_footprint_counts_distinct_bytes():
+def test_footprint_counts_nonzero_bytes():
     memory = MainMemory()
     memory.write(0, b"abc")
     memory.write(1, b"xy")
     assert memory.footprint() == 3
+    # Under the paged representation a byte holding zero is
+    # indistinguishable from an unwritten byte: zero writes do not add
+    # to the footprint, and zeroing a byte removes it.
+    memory.write(100, b"\x00\x00")
+    assert memory.footprint() == 3
+    memory.write_byte(0, 0)
+    assert memory.footprint() == 2
+
+
+def test_apply_runs_matches_sequential_writes():
+    memory = MainMemory()
+    memory.apply_runs([(10, b"AB"), (11, b"CD"), (200, b"z")])
+    assert memory.read(10, 3) == b"ACD"
+    assert memory.read(200, 1) == b"z"
+
+
+def test_cross_page_read_write():
+    memory = MainMemory()
+    addr = PAGE_BYTES - 3
+    data = bytes(range(8))
+    memory.write(addr, data)
+    assert memory.read(addr, 8) == data
+    assert memory.read_int(addr, 8) == int.from_bytes(data, "big")
+    # Straddling three pages.
+    big = bytes((i * 7) & 0xFF for i in range(2 * PAGE_BYTES + 10))
+    memory.write(PAGE_BYTES - 5, big)
+    assert memory.read(PAGE_BYTES - 5, len(big)) == big
 
 
 @given(addr=st.integers(min_value=0, max_value=1 << 40),

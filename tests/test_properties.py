@@ -7,7 +7,9 @@ from hypothesis import given, settings, strategies as st
 from conftest import EngineHarness, small_params
 
 from repro.cpu.assembler import assemble
-from repro.cpu.isa import AGSI, AHI, HALT, J, JNZ, LHI, Mem, TBEGIN, TBEGINC, TEND
+from repro.cpu.isa import (
+    AGSI, AHI, HALT, J, JNZ, LHI, Mem, PPA, TBEGIN, TBEGINC, TEND,
+)
 from repro.errors import TransactionAbortSignal
 from repro.params import ZEC12
 from repro.sim.machine import Machine
@@ -27,17 +29,24 @@ def test_transactional_counters_exact_under_random_configs(
     n_cpus, iterations, n_counters, constrained, seed
 ):
     """Atomicity invariant: for any CPU count, iteration count, counter
-    layout and RNG seed, transactional increments are never lost."""
+    layout and RNG seed, transactional increments are never lost.
+
+    The unconstrained retry path uses the paper's PPA back-off (Figure
+    1): plain transactions carry no forward-progress guarantee, so an
+    immediate re-TBEGIN can livelock the simulated machine for some
+    (cpus, counters, seed) combinations — e.g. 4 CPUs / 3 counters /
+    seed 0 cycle abort-retry forever without the random delay.
+    """
     params = dataclasses.replace(ZEC12.with_cpus(n_cpus), seed=seed)
     begin = TBEGINC() if constrained else TBEGIN()
-    items = [LHI(9, iterations), ("loop", begin)]
+    items = [LHI(9, iterations), LHI(0, 0), ("loop", begin)]
     if not constrained:
         items.append(JNZ("retry"))
     for c in range(n_counters):
         items.append(AGSI(Mem(disp=DATA + c * 256), 1))
-    items += [TEND(), AHI(9, -1), JNZ("loop"), J("done")]
+    items += [TEND(), LHI(0, 0), AHI(9, -1), JNZ("loop"), J("done")]
     if not constrained:
-        items.append(("retry", J("loop")))
+        items += [("retry", AHI(0, 1)), PPA(0), J("loop")]
     items.append(("done", HALT()))
     program = assemble(items)
 
