@@ -49,7 +49,9 @@ def run_update_experiment(
 
     With ``metrics=True`` a :class:`~repro.sim.metrics.MetricsRegistry`
     observes the run and its summary lands on ``result.metrics``; the
-    architected result is identical either way.
+    architected result is identical either way. Passing the string
+    ``"tx_log"`` instead of True additionally records the global-order
+    transaction-outcome log (``result.tx_log``).
     """
     machine_params = params.with_cpus(experiment.n_cpus)
     layout = PoolLayout(experiment.pool_size)
@@ -62,7 +64,10 @@ def run_update_experiment(
     machine = Machine(machine_params)
     for _ in range(experiment.n_cpus):
         machine.add_program(program)
-    registry = MetricsRegistry().attach(machine) if metrics else None
+    registry = (
+        MetricsRegistry(tx_log=(metrics == "tx_log")).attach(machine)
+        if metrics else None
+    )
     result = machine.run(max_cycles=max_cycles)
     if registry is not None:
         result.metrics = registry.summary()

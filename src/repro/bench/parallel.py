@@ -153,7 +153,9 @@ def task_key(kind: str, experiment: Any, params: MachineParams,
             "code": code_version(),
             "data_plane": DATA_PLANE_VERSION,
             "python": f"{sys.version_info[0]}.{sys.version_info[1]}",
-            "metrics": bool(metrics),
+            # Strings (e.g. "tx_log") are distinct cache populations from
+            # plain metrics-on runs.
+            "metrics": metrics if isinstance(metrics, str) else bool(metrics),
         },
         sort_keys=True,
         default=str,

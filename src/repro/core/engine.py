@@ -105,6 +105,18 @@ class MetricsSink:
                    extension_rows: int) -> None:
         """Memory-side abort recognised; footprint captured pre-teardown."""
 
+    def note_commit_sets(self, ia: int, tbegin_ia: Optional[int],
+                         constrained: bool, read_set, write_set) -> None:
+        """Set-valued companion to :meth:`note_commit`: the committed
+        transaction's read/write line-address sets, plus the outermost
+        TBEGIN address identifying it. The sets are the engine's live
+        objects — copy them to keep them past the hook."""
+
+    def note_abort_sets(self, abort: TransactionAbort,
+                        tbegin_ia: Optional[int], constrained: bool,
+                        read_set, write_set) -> None:
+        """Set-valued companion to :meth:`note_abort` (pre-teardown)."""
+
     def note_xi(self, xi: Xi, response: XiResponse) -> None:
         """An XI was answered (every response, including rejects)."""
 
@@ -138,6 +150,18 @@ class _MetricsFanout(MetricsSink):
         for sink in self.sinks:
             sink.note_abort(abort, read_lines, write_lines, xi_rejects,
                             extension_rows)
+
+    def note_commit_sets(self, ia, tbegin_ia, constrained, read_set,
+                         write_set):
+        for sink in self.sinks:
+            sink.note_commit_sets(ia, tbegin_ia, constrained, read_set,
+                                  write_set)
+
+    def note_abort_sets(self, abort, tbegin_ia, constrained, read_set,
+                        write_set):
+        for sink in self.sinks:
+            sink.note_abort_sets(abort, tbegin_ia, constrained, read_set,
+                                 write_set)
 
     def note_xi(self, xi, response):
         for sink in self.sinks:
@@ -401,13 +425,17 @@ class TxEngine(CpuPort):
         # tx marks, tx.reset drops the read set).
         m = self.metrics
         if m is not None:
+            read_set = self.tx.read_set
+            write_set = self.store_cache.tx_lines()
             m.note_commit(
                 ia,
-                len(self.tx.read_set),
-                len(self.store_cache.tx_lines()),
+                len(read_set),
+                len(write_set),
                 len(self.store_cache),
                 self.l1.extension_rows(),
             )
+            m.note_commit_sets(ia, self.tx.tbegin_address,
+                               self.tx.constrained, read_set, write_set)
         self.store_cache.end_transaction()
         self.stq.clear_tx_marks()
         self.l1.end_transaction()
@@ -944,13 +972,17 @@ class TxEngine(CpuPort):
         m = self.metrics
         if m is not None:
             # Footprint captured before the teardown below clears it.
+            read_set = self.tx.read_set
+            write_set = self.store_cache.tx_lines()
             m.note_abort(
                 self.pending_abort,
-                len(self.tx.read_set),
-                len(self.store_cache.tx_lines()),
+                len(read_set),
+                len(write_set),
                 self.tx.xi_rejects,
                 self.l1.extension_rows(),
             )
+            m.note_abort_sets(self.pending_abort, self.tx.tbegin_address,
+                              self.tx.constrained, read_set, write_set)
         # Invalidate speculative data: tx-dirty L1 lines vanish, pending
         # transactional stores are dropped (NTSTG doublewords survive),
         # the read set is forgotten.

@@ -66,6 +66,10 @@ class Machine:
         self._recorders: List[MarkRecorder] = []
         self.scheduler: Optional[Scheduler] = None
         self.external_interrupt_interval = external_interrupt_interval
+        #: Optional ``perturb(index, latency) -> latency`` hook installed
+        #: on the scheduler of every subsequent :meth:`run` (see
+        #: :attr:`~repro.sim.scheduler.Scheduler.perturb`).
+        self.schedule_perturb: Optional[Callable[[int, int], int]] = None
         self._next_interrupt: List[int] = []
 
     # ------------------------------------------------------------------
@@ -133,6 +137,8 @@ class Machine:
         # it unset so the scheduler's inner loop skips it entirely.
         if self.external_interrupt_interval:
             self.scheduler.pre_step = self._inject_interrupts
+        if self.schedule_perturb is not None:
+            self.scheduler.perturb = self.schedule_perturb
         self.fabric.clock = lambda: self.scheduler.now
         cycles = self.scheduler.run(max_cycles=max_cycles)
         for engine in self.engines:

@@ -209,6 +209,75 @@ class CpuMetrics(MetricsSink):
         }
 
 
+class TxLog:
+    """Global-order log of transaction outcomes across every CPU.
+
+    The scheduler resumes one driver at a time, so append order *is* the
+    order in which commits reached the memory system — the serialization
+    order the verify oracle replays. Entries are JSON-native lists
+
+        ``[cpu, kind, tbegin_ia, end_ia, code, constrained,
+           read_lines, write_lines]``
+
+    with ``kind`` ``"commit"`` or ``"abort"``, ``end_ia`` the TEND (or
+    aborting-instruction) address, ``code`` the abort code (0 for
+    commits), ``constrained`` 0/1, and ``read_lines``/``write_lines``
+    sorted line-address lists — so a log compares equal whether it was
+    read in-process or round-tripped through a JSON payload. Unknown
+    addresses are recorded as -1. The log is capped at ``limit`` entries;
+    ``dropped`` counts the overflow.
+    """
+
+    __slots__ = ("entries", "limit", "dropped")
+
+    def __init__(self, limit: int) -> None:
+        self.entries: List[List[Any]] = []
+        self.limit = limit
+        self.dropped = 0
+
+    def append(self, cpu: int, kind: str, tbegin_ia, end_ia, code: int,
+               constrained: bool, read_set, write_set) -> None:
+        if len(self.entries) >= self.limit:
+            self.dropped += 1
+            return
+        self.entries.append([
+            cpu,
+            kind,
+            -1 if tbegin_ia is None else tbegin_ia,
+            -1 if end_ia is None else end_ia,
+            int(code),
+            1 if constrained else 0,
+            sorted(read_set),
+            sorted(write_set),
+        ])
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "entries": [list(entry) for entry in self.entries],
+            "dropped": self.dropped,
+        }
+
+
+class _TxLogTap(MetricsSink):
+    """Per-CPU sink feeding the shared :class:`TxLog`."""
+
+    __slots__ = ("cpu_id", "log")
+
+    def __init__(self, cpu_id: int, log: TxLog) -> None:
+        self.cpu_id = cpu_id
+        self.log = log
+
+    def note_commit_sets(self, ia, tbegin_ia, constrained, read_set,
+                         write_set):
+        self.log.append(self.cpu_id, "commit", tbegin_ia, ia, 0,
+                        constrained, read_set, write_set)
+
+    def note_abort_sets(self, abort, tbegin_ia, constrained, read_set,
+                        write_set):
+        self.log.append(self.cpu_id, "abort", tbegin_ia, abort.aborted_ia,
+                        abort.code, constrained, read_set, write_set)
+
+
 #: Per-CPU dict keys merged by plain integer addition.
 _CPU_SUM_KEYS = ("tbegins", "constrained_tbegins", "commits", "aborts",
                  "stiff_arms")
@@ -224,12 +293,23 @@ _CPU_HIST_KEYS = ("read_set_at_commit", "write_set_at_commit",
 
 
 class MetricsRegistry:
-    """Attaches one :class:`CpuMetrics` per engine and aggregates them."""
+    """Attaches one :class:`CpuMetrics` per engine and aggregates them.
 
-    def __init__(self) -> None:
+    With ``tx_log=True`` a shared :class:`TxLog` additionally records
+    every commit/abort in global order with its read/write line sets
+    (the ``"tx_log"`` summary key), for the ``repro.verify``
+    serializability oracle.
+    """
+
+    def __init__(self, tx_log: bool = False,
+                 tx_log_limit: int = 100_000) -> None:
         self.cpus: List[CpuMetrics] = []
+        self.tx_log: Optional[TxLog] = (
+            TxLog(tx_log_limit) if tx_log else None
+        )
         self._machine = None
         self._engines: List = []
+        self._taps: List[_TxLogTap] = []
 
     def attach(self, machine) -> "MetricsRegistry":
         """Attach to every engine of ``machine`` (after CPUs are added)."""
@@ -245,13 +325,20 @@ class MetricsRegistry:
             engine.attach_metrics(collector)
             self.cpus.append(collector)
             self._engines.append(engine)
+            if self.tx_log is not None:
+                tap = _TxLogTap(engine.cpu_id, self.tx_log)
+                engine.attach_metrics(tap)
+                self._taps.append(tap)
         return self
 
     def detach(self) -> None:
         """Detach all collectors (collected data stays readable)."""
         for engine, collector in zip(self._engines, self.cpus):
             engine.detach_metrics(collector)
+        for engine, tap in zip(self._engines, self._taps):
+            engine.detach_metrics(tap)
         self._engines = []
+        self._taps = []
         self._machine = None
 
     # -- export ------------------------------------------------------------
@@ -285,7 +372,7 @@ class MetricsRegistry:
             fabric = {"fetches": 0, "rejects": 0, "xis": 0}
             broadcast_stops = 0
             cycles = 0
-        return {
+        summary: Dict[str, Any] = {
             "schema": SCHEMA,
             "runs": 1,
             "n_cpus": len(cpu_dicts),
@@ -293,6 +380,9 @@ class MetricsRegistry:
             "totals": _totals_from_cpus(cpu_dicts, fabric, broadcast_stops),
             "cpus": cpu_dicts,
         }
+        if self.tx_log is not None:
+            summary["tx_log"] = self.tx_log.to_dict()
+        return summary
 
 
 def _empty_hist_dict() -> Dict[str, Any]:
@@ -344,6 +434,9 @@ def merge_summaries(summaries: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
         if merged is None:
             merged = json.loads(json.dumps(summary))  # deep copy
             merged.pop("cpus", None)
+            # The tx log is a per-run serialization order; concatenating
+            # logs across runs would be meaningless.
+            merged.pop("tx_log", None)
             continue
         merged["runs"] += summary.get("runs", 1)
         merged["n_cpus"] = max(merged["n_cpus"], summary["n_cpus"])

@@ -57,6 +57,20 @@ class SimResult:
     def n_cpus(self) -> int:
         return len(self.cpus)
 
+    @property
+    def tx_log(self) -> Optional[Dict[str, Any]]:
+        """Global-order transaction-outcome log, when the run was observed
+        by a ``MetricsRegistry(tx_log=True)``; None otherwise.
+
+        A dict ``{"entries": [...], "dropped": n}`` where each entry is
+        ``[cpu, kind, tbegin_ia, end_ia, code, constrained, read_lines,
+        write_lines]`` in the engine's serialization order (see
+        :class:`repro.sim.metrics.TxLog`).
+        """
+        if self.metrics is None:
+            return None
+        return self.metrics.get("tx_log")
+
     def all_intervals(self) -> List[int]:
         out: List[int] = []
         for cpu in self.cpus:

@@ -35,6 +35,12 @@ class Scheduler:
         #: step — used by the machine for asynchronous-interruption
         #: injection.
         self.pre_step = None
+        #: Optional hook ``perturb(index, latency) -> latency`` applied to
+        #: every completed step's latency (including FetchRetry back-offs).
+        #: ``repro.verify`` installs a seeded jitter here to explore many
+        #: interleavings of the same program; must return a non-negative
+        #: int to keep simulated time monotonic.
+        self.perturb = None
         self._seq = 0
         self._horizon = 0
         #: Times the broadcast-stop (solo) token was granted to a CPU.
@@ -84,6 +90,7 @@ class Scheduler:
         heappush = heapq.heappush
         heappushpop = heapq.heappushpop
         pre_step = self.pre_step
+        perturb = self.perturb
         limit = max_cycles
         event = None
         while True:
@@ -139,6 +146,8 @@ class Scheduler:
                     latency = driver.step()
                 except FetchRetry as retry:
                     latency = retry.delay
+                if perturb is not None:
+                    latency = perturb(index, latency)
                 end = time + latency if latency > 0 else time
                 if (
                     driver.done

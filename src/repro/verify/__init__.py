@@ -1,0 +1,39 @@
+"""TM correctness tooling: serializability oracle + schedule fuzzer.
+
+Run from the command line::
+
+    python -m repro.verify --seconds 30 --seed 0
+    python -m repro.verify --replay tests/corpus
+
+Or programmatically::
+
+    from repro.verify import generate_case, check_case, fuzz
+    violations = check_case(generate_case(seed=1234))
+    assert not violations
+"""
+
+from .dsl import case_from_json, case_to_json, validate_case
+from .fuzzer import FuzzReport, case_seed, fuzz, replay_corpus
+from .generator import generate_case
+from .jitter import ScheduleJitter
+from .oracle import CaseOutcome, check_case, check_outcome, run_case
+from .reference import replay
+from .shrink import shrink_case
+
+__all__ = [
+    "CaseOutcome",
+    "FuzzReport",
+    "ScheduleJitter",
+    "case_from_json",
+    "case_seed",
+    "case_to_json",
+    "check_case",
+    "check_outcome",
+    "fuzz",
+    "generate_case",
+    "replay",
+    "replay_corpus",
+    "run_case",
+    "shrink_case",
+    "validate_case",
+]

@@ -1,0 +1,263 @@
+"""Case DSL for the TM correctness fuzzer.
+
+A *case* is a JSON-serialisable dict describing a small multi-CPU
+concurrent program plus the schedule perturbation to run it under:
+
+.. code-block:: python
+
+    {
+        "schema": "repro.verify/1",
+        "n_cpus": 2,
+        "pool": [1048576, 1048584],        # shared 8-byte variables
+        "init": [[1048576, 11]],           # initial memory values
+        "schedule_seed": 7,                # jitter RNG seed
+        "jitter": 40,                      # max added cycles per step
+        "speculation": false,
+        "max_cycles": 3000000,
+        "programs": [[event, ...], ...]    # one event list per CPU
+    }
+
+Events are plain lists (so cases round-trip through JSON unchanged):
+
+``["pstore", addr, value]``
+    Plain (non-transactional) store of ``value`` to a *private* address.
+``["pload", src, dst]``
+    Plain load from private ``src`` stored to private ``dst``.
+``["pagsi", addr, imm]``
+    Plain interlocked add-immediate on a private address.
+``["sload", addr]``
+    Plain load of a *shared* address into a scratch register (dead value;
+    exercises read-only coherence traffic against running transactions).
+``["pause", cycles]``
+    Idle for ``cycles`` (shifts the interleaving).
+``["tx", block]``
+    A transaction block (dict, below).
+
+A transaction block:
+
+.. code-block:: python
+
+    {
+        "id": 3,                  # unique across the whole case
+        "mode": "tbegin",         # or "tbeginc"
+        "fate": "commit",         # "abort_once" | "doomed"
+        "fault": null,            # "tabort" | "divzero" for non-commit fates
+        "pifc": 0,                # TBEGIN program-interruption filtering
+        "nest": null,             # [start, end): ops wrapped in inner TBEGIN/TEND
+        "ntstg_slot": null,       # private addr NTSTG'd on the fault path
+        "fault_token": 0,         # value stored by the fault-path NTSTG
+        "canary": null,           # private addr stored transactionally on the
+                                  # fault path — must never become visible
+        "ops": [txop, ...]
+    }
+
+Transactional ops — the sources of the serializability oracle. Reads are
+*self-logging*: every transactional load is immediately stored to a
+private log slot, so the final-state comparison against the sequential
+reference also checks what each transaction observed:
+
+``["write", addr, token]``   store unique ``token`` to shared ``addr``
+``["read", addr, slot]``     load shared ``addr``, store it to private ``slot``
+``["add", addr, imm]``       AGSI on shared ``addr``
+``["copy", src, dst]``       load shared ``src``, store to shared ``dst``
+``["ntstg", addr, token]``   non-transactional store to a private slot
+``["etnd", slot]``           store the nesting depth to private ``slot``
+
+Fates: ``commit`` blocks retry until they commit; ``abort_once`` blocks
+run the fault path on their first attempt only; ``doomed`` blocks fault
+on every attempt and give up after :data:`MAX_DOOMED_ATTEMPTS`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Set, Tuple
+
+from ..errors import ConfigurationError
+
+SCHEMA = "repro.verify/1"
+
+#: Retry-loop exit bound for blocks that can never commit.
+MAX_DOOMED_ATTEMPTS = 4
+
+#: Shared pool base address; private regions sit above it per CPU.
+SHARED_BASE = 0x10_0000
+PRIVATE_BASE = 0x20_0000
+PRIVATE_STRIDE = 0x1_0000
+
+PLAIN_EVENTS = ("pstore", "pload", "pagsi", "sload", "pause")
+TX_OPS = ("write", "read", "add", "copy", "ntstg", "etnd")
+FATES = ("commit", "abort_once", "doomed")
+FAULTS = ("tabort", "divzero")
+
+
+def tabort_code(block_id: int) -> int:
+    """The TABORT code a fault-path abort of ``block_id`` reports.
+
+    Always even, so the abort sets CC2 (transient) and the retry loop
+    runs again; distinct per block so the oracle can attribute fault
+    aborts in the transaction log.
+    """
+    return 256 + 2 * (block_id % 1000)
+
+
+def private_base(cpu: int) -> int:
+    return PRIVATE_BASE + cpu * PRIVATE_STRIDE
+
+
+def case_to_json(case: Dict[str, Any]) -> str:
+    return json.dumps(case, sort_keys=True, indent=2)
+
+
+def case_from_json(text: str) -> Dict[str, Any]:
+    case = json.loads(text)
+    validate_case(case)
+    return case
+
+
+def iter_blocks(case: Dict[str, Any]):
+    """Yields ``(cpu, event_index, block)`` for every tx block."""
+    for cpu, program in enumerate(case["programs"]):
+        for index, event in enumerate(program):
+            if event[0] == "tx":
+                yield cpu, index, event[1]
+
+
+def block_depth_at(block: Dict[str, Any], op_index: int) -> int:
+    """Static nesting depth while ``ops[op_index]`` executes."""
+    nest = block.get("nest")
+    if nest and nest[0] <= op_index < nest[1]:
+        return 2
+    return 1
+
+
+def tracked_addresses(case: Dict[str, Any]) -> Set[int]:
+    """Every address whose final value the oracle compares exactly.
+
+    Fault-path NTSTG slots are excluded (their survival is conditional
+    on the fault path having run — checked separately); canaries are
+    excluded too (they must read zero, checked separately).
+    """
+    conditional: Set[int] = set()
+    for _cpu, _index, block in iter_blocks(case):
+        if block["fate"] == "commit":
+            continue
+        if block.get("ntstg_slot") is not None:
+            conditional.add(block["ntstg_slot"])
+        if block.get("canary") is not None:
+            conditional.add(block["canary"])
+    addrs: Set[int] = set(case["pool"])
+    addrs.update(addr for addr, _ in case["init"])
+    for program in case["programs"]:
+        for event in program:
+            kind = event[0]
+            if kind == "pstore":
+                addrs.add(event[1])
+            elif kind == "pload":
+                addrs.update((event[1], event[2]))
+            elif kind == "pagsi":
+                addrs.add(event[1])
+            elif kind == "tx":
+                block = event[1]
+                for op in block["ops"]:
+                    if op[0] == "write":
+                        addrs.add(op[1])
+                    elif op[0] == "read":
+                        addrs.update((op[1], op[2]))
+                    elif op[0] == "add":
+                        addrs.add(op[1])
+                    elif op[0] == "copy":
+                        addrs.update((op[1], op[2]))
+                    elif op[0] == "ntstg":
+                        addrs.add(op[1])
+                    elif op[0] == "etnd":
+                        addrs.add(op[1])
+    return addrs - conditional
+
+
+def static_footprint(block: Dict[str, Any],
+                     line_size: int) -> Tuple[Set[int], Set[int]]:
+    """(read_lines, write_lines) of the block's *committing* attempt.
+
+    The committing attempt skips the fault path, so only ``ops`` count.
+    Loads mark the transaction read set; stores (including AGSI and
+    NTSTG) mark only write lines — mirroring the engine's bookkeeping.
+    """
+    mask = ~(line_size - 1)
+    reads: Set[int] = set()
+    writes: Set[int] = set()
+    for op in block["ops"]:
+        kind = op[0]
+        if kind == "write":
+            writes.add(op[1] & mask)
+        elif kind == "read":
+            reads.add(op[1] & mask)
+            writes.add(op[2] & mask)
+        elif kind == "add":
+            writes.add(op[1] & mask)
+        elif kind == "copy":
+            reads.add(op[1] & mask)
+            writes.add(op[2] & mask)
+        elif kind == "ntstg":
+            writes.add(op[1] & mask)
+        elif kind == "etnd":
+            writes.add(op[1] & mask)
+    return reads, writes
+
+
+def validate_case(case: Dict[str, Any]) -> None:
+    """Structural validation; raises ConfigurationError on bad cases."""
+    if case.get("schema") != SCHEMA:
+        raise ConfigurationError(
+            f"unknown verify case schema {case.get('schema')!r}"
+        )
+    n_cpus = case["n_cpus"]
+    if not (1 <= n_cpus <= 16):
+        raise ConfigurationError(f"n_cpus {n_cpus} out of range")
+    if len(case["programs"]) != n_cpus:
+        raise ConfigurationError("one program per CPU required")
+    if case["jitter"] < 0 or case["max_cycles"] <= 0:
+        raise ConfigurationError("jitter/max_cycles must be non-negative")
+    seen_ids: Set[int] = set()
+    for program in case["programs"]:
+        for event in program:
+            kind = event[0]
+            if kind == "tx":
+                _validate_block(event[1], seen_ids)
+            elif kind not in PLAIN_EVENTS:
+                raise ConfigurationError(f"unknown event kind {kind!r}")
+
+
+def _validate_block(block: Dict[str, Any], seen_ids: Set[int]) -> None:
+    if block["id"] in seen_ids:
+        raise ConfigurationError(f"duplicate block id {block['id']}")
+    seen_ids.add(block["id"])
+    mode, fate = block["mode"], block["fate"]
+    if mode not in ("tbegin", "tbeginc"):
+        raise ConfigurationError(f"unknown mode {mode!r}")
+    if fate not in FATES:
+        raise ConfigurationError(f"unknown fate {fate!r}")
+    if fate != "commit" and block.get("fault") not in FAULTS:
+        raise ConfigurationError("non-commit blocks need a fault kind")
+    if mode == "tbeginc":
+        # Constrained transactions: no fault path, no nesting, and at
+        # most two simple ops (the four-octoword footprint constraint).
+        if fate != "commit" or block.get("nest"):
+            raise ConfigurationError(
+                "tbeginc blocks must commit and cannot nest"
+            )
+        if len(block["ops"]) > 2:
+            raise ConfigurationError("tbeginc blocks take at most 2 ops")
+        for op in block["ops"]:
+            if op[0] in ("ntstg", "etnd"):
+                raise ConfigurationError(
+                    f"{op[0]} is restricted in constrained transactions"
+                )
+    nest = block.get("nest")
+    if nest is not None:
+        start, end = nest
+        if not (0 <= start < end <= len(block["ops"])):
+            raise ConfigurationError(f"bad nest range {nest}")
+    for op in block["ops"]:
+        if op[0] not in TX_OPS:
+            raise ConfigurationError(f"unknown tx op {op[0]!r}")

@@ -1,0 +1,227 @@
+"""Random concurrent-program generator for the verify fuzzer.
+
+Every draw comes from one ``random.Random(seed)`` stream, so a case is
+fully determined by its integer seed — across runs, machines and Python
+versions (the Mersenne Twister and ``randrange`` are stable). Programs
+mix transaction blocks (constrained and unconstrained, nested, fault
+injecting) with plain memory traffic over a small shared pool, sized so
+hundreds of cases fit in a CI minute while still provoking conflicts:
+2–4 CPUs hammering 2–6 shared variables, some sharing a cache line.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List
+
+from .dsl import SCHEMA, SHARED_BASE, private_base, validate_case
+
+#: Upper bound for every generated token (LHI's immediate is 16-bit).
+_MAX_TOKEN = 32000
+
+DEFAULT_MAX_CYCLES = 3_000_000
+
+_JITTERS = (0, 2, 5, 15, 40, 120)
+
+
+class _Tokens:
+    """Unique small positive values for stores and initial memory."""
+
+    def __init__(self) -> None:
+        self._next = 1
+
+    def take(self) -> int:
+        value = self._next
+        self._next += 1
+        if value > _MAX_TOKEN:
+            raise AssertionError("token space exhausted")
+        return value
+
+
+class _Private:
+    """Per-CPU private 8-byte slot allocator.
+
+    ``take`` records the slot in ``allocated`` so later plain loads may
+    source it; ``take_hidden`` does not — fault-path NTSTG slots and
+    canaries hold schedule-dependent values, and a plain load would
+    propagate that nondeterminism into an exactly-checked address.
+    """
+
+    def __init__(self, cpu: int) -> None:
+        self._base = private_base(cpu)
+        self._offset = 0
+        self.allocated: List[int] = []
+
+    def take(self) -> int:
+        addr = self.take_hidden()
+        self.allocated.append(addr)
+        return addr
+
+    def take_hidden(self) -> int:
+        addr = self._base + self._offset
+        self._offset += 8
+        return addr
+
+
+def generate_case(seed: int) -> Dict[str, Any]:
+    rng = random.Random(seed)
+    tokens = _Tokens()
+    n_cpus = rng.randint(2, 4)
+    pool_size = rng.randint(2, 6)
+    # Pairs of pool variables share a 256-byte line: adjacent-doubleword
+    # false sharing next to genuinely disjoint lines.
+    pool = [
+        SHARED_BASE + (i // 2) * 256 + (i % 2) * 8 for i in range(pool_size)
+    ]
+    init = [[addr, tokens.take()] for addr in pool if rng.random() < 0.7]
+
+    next_block_id = [0]
+    programs: List[List[Any]] = []
+    for cpu in range(n_cpus):
+        private = _Private(cpu)
+        events: List[Any] = []
+        for _ in range(rng.randint(2, 5)):
+            if rng.random() < 0.65:
+                events.append(
+                    ["tx", _gen_block(rng, tokens, pool, private,
+                                      next_block_id)]
+                )
+            else:
+                events.append(_gen_plain(rng, tokens, pool, private))
+        programs.append(events)
+
+    if next_block_id[0] == 0:
+        # Degenerate draw with no transactions: force one commit block.
+        private = _Private(0)
+        private._offset = 0x800  # clear of cpu 0's existing slots
+        programs[0].append(
+            ["tx", _gen_block(rng, tokens, pool, private, next_block_id,
+                              force_commit=True)]
+        )
+
+    case = {
+        "schema": SCHEMA,
+        "n_cpus": n_cpus,
+        "pool": pool,
+        "init": init,
+        "schedule_seed": rng.randrange(1 << 31),
+        "jitter": rng.choice(_JITTERS),
+        "speculation": rng.random() < 0.1,
+        "max_cycles": DEFAULT_MAX_CYCLES,
+        "programs": programs,
+    }
+    validate_case(case)
+    return case
+
+
+def _gen_plain(rng: random.Random, tokens: _Tokens, pool: List[int],
+               private: _Private) -> List[Any]:
+    roll = rng.random()
+    if roll < 0.3:
+        return ["pstore", private.take(), tokens.take()]
+    if roll < 0.5:
+        src = (rng.choice(private.allocated) if private.allocated
+               else private.take())
+        return ["pload", src, private.take()]
+    if roll < 0.65:
+        return ["pagsi", private.take(), rng.randint(1, 7)]
+    if roll < 0.85:
+        return ["sload", rng.choice(pool)]
+    return ["pause", rng.randint(1, 150)]
+
+
+def _gen_ops(rng: random.Random, tokens: _Tokens, pool: List[int],
+             private: _Private, count: int,
+             constrained: bool) -> List[List[Any]]:
+    ops: List[List[Any]] = []
+    for _ in range(count):
+        roll = rng.random()
+        if constrained:
+            # Constrained transactions carry only simple pool traffic.
+            if roll < 0.5:
+                ops.append(["write", rng.choice(pool), tokens.take()])
+            elif roll < 0.75:
+                ops.append(["add", rng.choice(pool), rng.randint(1, 7)])
+            else:
+                ops.append(["read", rng.choice(pool), private.take()])
+            continue
+        if roll < 0.30:
+            ops.append(["write", rng.choice(pool), tokens.take()])
+        elif roll < 0.55:
+            ops.append(["read", rng.choice(pool), private.take()])
+        elif roll < 0.70:
+            ops.append(["add", rng.choice(pool), rng.randint(1, 7)])
+        elif roll < 0.85:
+            ops.append(["copy", rng.choice(pool), rng.choice(pool)])
+        elif roll < 0.92:
+            ops.append(["ntstg", private.take(), tokens.take()])
+        else:
+            ops.append(["etnd", private.take()])
+    return ops
+
+
+def _gen_block(rng: random.Random, tokens: _Tokens, pool: List[int],
+               private: _Private, next_block_id: List[int],
+               force_commit: bool = False) -> Dict[str, Any]:
+    bid = next_block_id[0]
+    next_block_id[0] += 1
+    if not force_commit and rng.random() < 0.2:
+        return {
+            "id": bid,
+            "mode": "tbeginc",
+            "fate": "commit",
+            "fault": None,
+            "pifc": 0,
+            "nest": None,
+            "ntstg_slot": None,
+            "fault_token": 0,
+            "canary": None,
+            "ops": _gen_ops(rng, tokens, pool, private, rng.randint(1, 2),
+                            constrained=True),
+        }
+
+    roll = rng.random()
+    if force_commit or roll < 0.6:
+        fate = "commit"
+    elif roll < 0.85:
+        fate = "abort_once"
+    else:
+        fate = "doomed"
+    fault = None
+    pifc = 0
+    ntstg_slot = None
+    fault_token = 0
+    canary = None
+    if fate != "commit":
+        fault = rng.choice(("tabort", "divzero"))
+        # Divide-by-zero blocks run with PIFC >= 1 so the exception is
+        # filtered (abort code 12, no OS interruption).
+        pifc = rng.choice((1, 2)) if fault == "divzero" else rng.choice(
+            (0, 1, 2)
+        )
+        if rng.random() < 0.7:
+            ntstg_slot = private.take_hidden()
+            fault_token = tokens.take()
+        if rng.random() < 0.7:
+            canary = private.take_hidden()
+            if not fault_token:
+                fault_token = tokens.take()
+    ops = _gen_ops(rng, tokens, pool, private, rng.randint(1, 4),
+                   constrained=False)
+    nest = None
+    if len(ops) >= 2 and rng.random() < 0.25:
+        start = rng.randrange(len(ops) - 1)
+        end = rng.randint(start + 1, len(ops))
+        nest = [start, end]
+    return {
+        "id": bid,
+        "mode": "tbegin",
+        "fate": fate,
+        "fault": fault,
+        "pifc": pifc,
+        "nest": nest,
+        "ntstg_slot": ntstg_slot,
+        "fault_token": fault_token,
+        "canary": canary,
+        "ops": ops,
+    }

@@ -1,0 +1,29 @@
+"""Seeded schedule perturbation.
+
+Installed as :attr:`repro.sim.machine.Machine.schedule_perturb`, the
+jitter adds a bounded random number of cycles to every completed step's
+latency. Stretching one CPU's step slides every later event of that CPU
+relative to the others, so sweeping the seed explores many interleavings
+of the same program — conflicts land before/after TBEGIN, XIs arrive
+mid-transaction, stiff-arm windows open and close — while simulated time
+stays monotonic and the run stays fully deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class ScheduleJitter:
+    """Adds ``0..magnitude`` cycles to each step, from a seeded stream."""
+
+    __slots__ = ("magnitude", "_rng")
+
+    def __init__(self, seed: int, magnitude: int) -> None:
+        self.magnitude = magnitude
+        self._rng = random.Random(seed)
+
+    def __call__(self, index: int, latency: int) -> int:
+        if self.magnitude <= 0:
+            return latency
+        return latency + self._rng.randrange(self.magnitude + 1)

@@ -1,0 +1,157 @@
+"""Lower a verify case to assembled per-CPU ISA programs.
+
+Unconstrained blocks compile to the canonical TBEGIN retry loop (the
+abort path lands on the BRC after TBEGIN with a non-zero CC):
+
+.. code-block:: text
+
+        LHI   r8, 0            ; attempt counter (lives outside the tx)
+  loop: TBEGIN grsm=0xFF, pifc
+        BRC   7, retry         ; CC1/2/3 = abort path
+        CIJNL r8, n_faults, go ; fault attempts exhausted -> normal body
+        <fault path: NTSTG slot, canary store, TABORT/DSG>
+    go: <ops, optionally with an inner TBEGIN..TEND around a sub-range>
+        TEND
+        J     done
+ retry: AHI   r8, 1
+        CIJNL r8, MAX, done    ; doomed blocks only: give up
+        PPA   r8
+        J     loop
+  done:
+
+Constrained blocks are just ``TBEGINC; ops; TEND`` — the architecture
+retries them at the TBEGINC itself, so no software loop exists.
+
+Register conventions: r2 load scratch, r3 store token, r5/r6 divide
+operands, r8 attempt counter. GRSM 0xFF saves/restores every pair on
+abort, so transactional register damage never leaks into the loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+from ..cpu import isa
+from ..cpu.assembler import Program, assemble
+from ..cpu.isa import Mem
+from .dsl import MAX_DOOMED_ATTEMPTS, tabort_code
+
+#: Attempts after which a fault path stops firing for abort-once blocks.
+_ALWAYS = 1 << 20
+
+
+@dataclass
+class LoweredProgram:
+    """One CPU's assembled program plus the oracle's block index."""
+
+    program: Program
+    #: Outermost TBEGIN/TBEGINC address -> block dict.
+    blocks_by_tbegin: Dict[int, Dict[str, Any]]
+
+
+def lower_program(cpu: int, events: List[Any]) -> LoweredProgram:
+    items: List[Any] = []
+    tbegin_labels: Dict[str, Dict[str, Any]] = {}
+    for event in events:
+        kind = event[0]
+        if kind == "pstore":
+            _, addr, value = event
+            items.append(isa.LHI(3, value))
+            items.append(isa.STG(3, Mem(disp=addr)))
+        elif kind == "pload":
+            _, src, dst = event
+            items.append(isa.LG(2, Mem(disp=src)))
+            items.append(isa.STG(2, Mem(disp=dst)))
+        elif kind == "pagsi":
+            _, addr, imm = event
+            items.append(isa.AGSI(Mem(disp=addr), imm))
+        elif kind == "sload":
+            items.append(isa.LG(2, Mem(disp=event[1])))
+        elif kind == "pause":
+            items.append(isa.PAUSE(event[1]))
+        elif kind == "tx":
+            _lower_block(cpu, event[1], items, tbegin_labels)
+    items.append(isa.HALT())
+    program = assemble(items)
+    blocks_by_tbegin = {
+        program.labels[label]: block
+        for label, block in tbegin_labels.items()
+    }
+    return LoweredProgram(program=program, blocks_by_tbegin=blocks_by_tbegin)
+
+
+def _emit_op(op: List[Any], items: List[Any]) -> None:
+    kind = op[0]
+    if kind == "write":
+        items.append(isa.LHI(3, op[2]))
+        items.append(isa.STG(3, Mem(disp=op[1])))
+    elif kind == "read":
+        items.append(isa.LG(2, Mem(disp=op[1])))
+        items.append(isa.STG(2, Mem(disp=op[2])))
+    elif kind == "add":
+        items.append(isa.AGSI(Mem(disp=op[1]), op[2]))
+    elif kind == "copy":
+        items.append(isa.LG(2, Mem(disp=op[1])))
+        items.append(isa.STG(2, Mem(disp=op[2])))
+    elif kind == "ntstg":
+        items.append(isa.LHI(3, op[2]))
+        items.append(isa.NTSTG(3, Mem(disp=op[1])))
+    elif kind == "etnd":
+        items.append(isa.ETND(2))
+        items.append(isa.STG(2, Mem(disp=op[1])))
+
+
+def _lower_block(cpu: int, block: Dict[str, Any], items: List[Any],
+                 tbegin_labels: Dict[str, Dict[str, Any]]) -> None:
+    bid = block["id"]
+    p = f"c{cpu}b{bid}"
+    if block["mode"] == "tbeginc":
+        items.append((f"{p}_begin", isa.TBEGINC(grsm=0xFF)))
+        tbegin_labels[f"{p}_begin"] = block
+        for op in block["ops"]:
+            _emit_op(op, items)
+        items.append(isa.TEND())
+        return
+
+    fate = block["fate"]
+    n_faults = {"commit": 0, "abort_once": 1, "doomed": _ALWAYS}[fate]
+    items.append(isa.LHI(8, 0))
+    items.append(f"{p}_loop")
+    items.append(
+        (f"{p}_begin", isa.TBEGIN(grsm=0xFF, pifc=block.get("pifc", 0)))
+    )
+    tbegin_labels[f"{p}_begin"] = block
+    items.append(isa.BRC(7, f"{p}_retry"))
+    if n_faults:
+        items.append(isa.CIJNL(8, n_faults, f"{p}_go"))
+        slot = block.get("ntstg_slot")
+        if slot is not None:
+            items.append(isa.LHI(3, block["fault_token"]))
+            items.append(isa.NTSTG(3, Mem(disp=slot)))
+        canary = block.get("canary")
+        if canary is not None:
+            items.append(isa.LHI(3, block["fault_token"]))
+            items.append(isa.STG(3, Mem(disp=canary)))
+        if block["fault"] == "tabort":
+            items.append(isa.TABORT(tabort_code(bid)))
+        else:
+            items.append(isa.LHI(5, 7))
+            items.append(isa.LHI(6, 0))
+            items.append(isa.DSG(5, 6))
+        items.append(f"{p}_go")
+    nest = block.get("nest")
+    for index, op in enumerate(block["ops"]):
+        if nest is not None and index == nest[0]:
+            items.append(isa.TBEGIN(grsm=0xFF, pifc=block.get("pifc", 0)))
+        _emit_op(op, items)
+        if nest is not None and index == nest[1] - 1:
+            items.append(isa.TEND())
+    items.append(isa.TEND())
+    items.append(isa.J(f"{p}_done"))
+    items.append((f"{p}_retry", isa.AHI(8, 1)))
+    if fate == "doomed":
+        items.append(isa.CIJNL(8, MAX_DOOMED_ATTEMPTS, f"{p}_done"))
+    items.append(isa.PPA(8))
+    items.append(isa.J(f"{p}_loop"))
+    items.append(f"{p}_done")

@@ -1,0 +1,109 @@
+"""Sequential reference TM model.
+
+Replays a verify case on dict-based memory with *instant* transactions:
+each committed block applies all of its ops atomically, in the commit
+order the engine reported. Plain events of a CPU are applied in program
+order, interleaved before the CPU's next committed block (they only
+touch CPU-private addresses, so their placement relative to *other*
+CPUs' commits cannot matter). Doomed blocks apply nothing here — their
+only architecturally visible effects (fault-path NTSTG survivals) are
+conditional and checked separately by the oracle.
+
+If the engine's committed transactions are serializable in its reported
+commit order, the reference's final memory must equal the machine's —
+including every read-log slot, because transactional reads are lowered
+as load-then-store-to-private-log, making observed values part of the
+final state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from .dsl import block_depth_at
+
+
+class ReplayError(Exception):
+    """The reported commit order cannot be replayed (itself a finding)."""
+
+
+def apply_block(mem: Dict[int, int], block: Dict[str, Any]) -> None:
+    """Apply one committed block's ops to the reference memory."""
+    for index, op in enumerate(block["ops"]):
+        kind = op[0]
+        if kind == "write":
+            mem[op[1]] = op[2]
+        elif kind == "read":
+            mem[op[2]] = mem.get(op[1], 0)
+        elif kind == "add":
+            mem[op[1]] = mem.get(op[1], 0) + op[2]
+        elif kind == "copy":
+            mem[op[2]] = mem.get(op[1], 0)
+        elif kind == "ntstg":
+            mem[op[1]] = op[2]
+        elif kind == "etnd":
+            mem[op[1]] = block_depth_at(block, index)
+
+
+def _apply_plain(mem: Dict[int, int], event: List[Any]) -> None:
+    kind = event[0]
+    if kind == "pstore":
+        mem[event[1]] = event[2]
+    elif kind == "pload":
+        mem[event[2]] = mem.get(event[1], 0)
+    elif kind == "pagsi":
+        mem[event[1]] = mem.get(event[1], 0) + event[2]
+    # sload/pause have no memory effect.
+
+
+def replay(case: Dict[str, Any],
+           commit_order: List[Tuple[int, int]]) -> Dict[int, int]:
+    """Reference final memory for ``commit_order``.
+
+    ``commit_order`` lists ``(cpu, event_index)`` of committed blocks in
+    the engine's serialization order. Raises :class:`ReplayError` when
+    the order skips a non-doomed block or commits out of program order —
+    conditions the oracle reports as violations in their own right.
+    """
+    mem: Dict[int, int] = {addr: value for addr, value in case["init"]}
+    programs = case["programs"]
+    pos = [0] * case["n_cpus"]
+    for cpu, event_index in commit_order:
+        program = programs[cpu]
+        if event_index < pos[cpu]:
+            raise ReplayError(
+                f"cpu {cpu} commits event {event_index} after already "
+                f"passing position {pos[cpu]}"
+            )
+        while pos[cpu] < event_index:
+            event = program[pos[cpu]]
+            if event[0] == "tx":
+                if event[1]["fate"] != "doomed":
+                    raise ReplayError(
+                        f"cpu {cpu} skipped non-doomed block "
+                        f"{event[1]['id']} before committing event "
+                        f"{event_index}"
+                    )
+            else:
+                _apply_plain(mem, event)
+            pos[cpu] += 1
+        event = program[event_index]
+        if event[0] != "tx":
+            raise ReplayError(
+                f"cpu {cpu} commit points at non-tx event {event_index}"
+            )
+        apply_block(mem, event[1])
+        pos[cpu] = event_index + 1
+    # Trailing events after each CPU's last commit.
+    for cpu, program in enumerate(programs):
+        while pos[cpu] < len(program):
+            event = program[pos[cpu]]
+            if event[0] == "tx":
+                if event[1]["fate"] != "doomed":
+                    raise ReplayError(
+                        f"cpu {cpu} never committed block {event[1]['id']}"
+                    )
+            else:
+                _apply_plain(mem, event)
+            pos[cpu] += 1
+    return mem

@@ -1,0 +1,127 @@
+"""Greedy case shrinker.
+
+Given a failing (program, schedule-seed) pair, repeatedly tries smaller
+variants — dropping events, transaction ops, fault-path furniture, whole
+CPUs, and the schedule jitter — keeping any variant that still fails
+*some* oracle (not necessarily the same one: a smaller counterexample to
+anything beats a large one to the original). Deterministic: candidates
+are tried in a fixed order and each accepted candidate restarts the
+pass, so the result depends only on the input case.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, Iterator, List
+
+from .oracle import check_case
+
+#: Simulation budget for one shrink (each candidate costs one run).
+DEFAULT_MAX_RUNS = 150
+
+
+def case_fails(case: Dict[str, Any]) -> bool:
+    """True when the case violates an oracle (a crash also counts)."""
+    try:
+        return bool(check_case(case))
+    except Exception:
+        return True
+
+
+def shrink_case(case: Dict[str, Any],
+                max_runs: int = DEFAULT_MAX_RUNS) -> Dict[str, Any]:
+    """Minimise a failing case; returns the smallest still-failing form."""
+    current = copy.deepcopy(case)
+    budget = max_runs
+    progress = True
+    while progress and budget > 0:
+        progress = False
+        for candidate in _candidates(current):
+            if budget <= 0:
+                break
+            budget -= 1
+            if case_fails(candidate):
+                current = candidate
+                progress = True
+                break
+    return current
+
+
+def _candidates(case: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    # Whole CPUs first (largest cuts), then events, then intra-block
+    # simplifications, then the schedule perturbation itself.
+    if case["n_cpus"] > 1:
+        for cpu in range(case["n_cpus"]):
+            variant = copy.deepcopy(case)
+            variant["programs"].pop(cpu)
+            variant["n_cpus"] -= 1
+            yield variant
+    for cpu, program in enumerate(case["programs"]):
+        for index in range(len(program)):
+            variant = copy.deepcopy(case)
+            variant["programs"][cpu].pop(index)
+            yield variant
+    for cpu, program in enumerate(case["programs"]):
+        for index, event in enumerate(program):
+            if event[0] != "tx":
+                continue
+            block = event[1]
+            for op_index in range(len(block["ops"])):
+                variant = copy.deepcopy(case)
+                vblock = variant["programs"][cpu][index][1]
+                vblock["ops"].pop(op_index)
+                _fix_nest(vblock)
+                yield variant
+            for simplify in _block_simplifications(block):
+                variant = copy.deepcopy(case)
+                simplify(variant["programs"][cpu][index][1])
+                yield variant
+    if case["jitter"] > 0:
+        variant = copy.deepcopy(case)
+        variant["jitter"] = 0
+        yield variant
+    if case["init"]:
+        for index in range(len(case["init"])):
+            variant = copy.deepcopy(case)
+            variant["init"].pop(index)
+            yield variant
+
+
+def _fix_nest(block: Dict[str, Any]) -> None:
+    nest = block.get("nest")
+    if nest is None:
+        return
+    start, end = nest
+    end = min(end, len(block["ops"]))
+    if start >= end:
+        block["nest"] = None
+    else:
+        block["nest"] = [start, end]
+
+
+def _block_simplifications(block: Dict[str, Any]) -> List[Any]:
+    out: List[Any] = []
+    if block.get("nest") is not None:
+        def drop_nest(b: Dict[str, Any]) -> None:
+            b["nest"] = None
+        out.append(drop_nest)
+    if block.get("canary") is not None:
+        def drop_canary(b: Dict[str, Any]) -> None:
+            b["canary"] = None
+        out.append(drop_canary)
+    if block.get("ntstg_slot") is not None:
+        def drop_slot(b: Dict[str, Any]) -> None:
+            b["ntstg_slot"] = None
+        out.append(drop_slot)
+    if block["fate"] == "doomed":
+        def weaken(b: Dict[str, Any]) -> None:
+            b["fate"] = "abort_once"
+        out.append(weaken)
+    elif block["fate"] == "abort_once":
+        def to_commit(b: Dict[str, Any]) -> None:
+            b["fate"] = "commit"
+            b["fault"] = None
+            b["ntstg_slot"] = None
+            b["canary"] = None
+        out.append(to_commit)
+    return out

@@ -74,7 +74,10 @@ def run_hashtable_experiment(
     table = HashTable(TABLE_BASE, buckets=experiment.buckets)
     for _ in range(experiment.n_threads):
         machine.spawn(hashtable_worker(table, experiment))
-    registry = MetricsRegistry().attach(machine) if metrics else None
+    registry = (
+        MetricsRegistry(tx_log=(metrics == "tx_log")).attach(machine)
+        if metrics else None
+    )
     result = machine.run(max_cycles=max_cycles)
     if registry is not None:
         result.metrics = registry.summary()

@@ -68,7 +68,10 @@ def run_queue_experiment(
                             max_threads=experiment.n_threads)
     for index in range(experiment.n_threads):
         machine.spawn(queue_worker(queue, experiment, initialize=index == 0))
-    registry = MetricsRegistry().attach(machine) if metrics else None
+    registry = (
+        MetricsRegistry(tx_log=(metrics == "tx_log")).attach(machine)
+        if metrics else None
+    )
     result = machine.run(max_cycles=max_cycles)
     if registry is not None:
         result.metrics = registry.summary()

@@ -117,3 +117,107 @@ def test_execution_is_deterministic(ops):
     first = run_once()
     second = run_once()
     assert first == second
+
+
+# ---------------------------------------------------------------------------
+# Memory-instruction differential fuzzing: LG/LTG/STG/AGSI/CSG against a
+# dict-backed reference model, checked over both the final register file
+# and the final contents of every touched address in MainMemory.
+
+from repro.cpu.isa import AGSI, CSG, LG, LTG, Mem, STG  # noqa: E402
+
+#: Small fixed pool of 8-byte slots; adjacent pairs share a cache line.
+ADDRESSES = [0x40000 + i * 8 for i in range(6)]
+
+SLOT = st.integers(min_value=0, max_value=len(ADDRESSES) - 1)
+SI_IMM = st.integers(min_value=-128, max_value=127)
+
+MEM_OP = st.one_of(
+    st.tuples(st.just("LHI"), REG, IMM),
+    st.tuples(st.just("AHI"), REG, IMM),
+    st.tuples(st.just("AGR"), REG, REG),
+    st.tuples(st.just("XGR"), REG, REG),
+    st.tuples(st.just("LG"), REG, SLOT),
+    st.tuples(st.just("LTG"), REG, SLOT),
+    st.tuples(st.just("STG"), REG, SLOT),
+    st.tuples(st.just("AGSI"), SLOT, SI_IMM),
+    st.tuples(st.just("CSG"), REG, REG, SLOT),
+)
+
+
+def build_memory_program(ops):
+    items = []
+    for op in ops:
+        mnemonic = op[0]
+        if mnemonic in ("LG", "LTG", "STG"):
+            items.append(FACTORIES_MEM[mnemonic](op[1],
+                                                 Mem(disp=ADDRESSES[op[2]])))
+        elif mnemonic == "AGSI":
+            items.append(AGSI(Mem(disp=ADDRESSES[op[1]]), op[2]))
+        elif mnemonic == "CSG":
+            items.append(CSG(op[1], op[2], Mem(disp=ADDRESSES[op[3]])))
+        else:
+            items.append(FACTORIES[mnemonic](op[1], op[2]))
+    return assemble(items + [HALT()])
+
+
+FACTORIES_MEM = {"LG": LG, "LTG": LTG, "STG": STG}
+
+
+def reference_execute_memory(ops):
+    """Dict-memory model of the same sequence; memory starts zeroed."""
+    gr = [0] * 16
+    mem = {}
+    for op in ops:
+        mnemonic = op[0]
+        if mnemonic == "LHI":
+            gr[op[1]] = op[2] & MASK
+        elif mnemonic == "AHI":
+            gr[op[1]] = (signed(gr[op[1]]) + op[2]) & MASK
+        elif mnemonic == "AGR":
+            gr[op[1]] = (signed(gr[op[1]]) + signed(gr[op[2]])) & MASK
+        elif mnemonic == "XGR":
+            gr[op[1]] = gr[op[1]] ^ gr[op[2]]
+        elif mnemonic in ("LG", "LTG"):
+            gr[op[1]] = mem.get(ADDRESSES[op[2]], 0)
+        elif mnemonic == "STG":
+            mem[ADDRESSES[op[2]]] = gr[op[1]]
+        elif mnemonic == "AGSI":
+            addr = ADDRESSES[op[1]]
+            mem[addr] = (signed(mem.get(addr, 0)) + op[2]) & MASK
+        elif mnemonic == "CSG":
+            addr = ADDRESSES[op[3]]
+            if mem.get(addr, 0) == gr[op[1]]:
+                mem[addr] = gr[op[2]]
+            else:
+                gr[op[1]] = mem.get(addr, 0)
+    return gr, mem
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=st.lists(MEM_OP, min_size=1, max_size=40))
+def test_memory_semantics_match_reference(ops):
+    machine = Machine(ZEC12)
+    cpu = machine.add_program(build_memory_program(ops))
+    machine.run()
+    machine.engines[0].quiesce()  # drain the store queue to MainMemory
+    ref_gr, ref_mem = reference_execute_memory(ops)
+    assert cpu.regs.gr == ref_gr
+    for addr in ADDRESSES:
+        assert machine.memory.read_int(addr, 8) == ref_mem.get(addr, 0), (
+            f"memory mismatch at 0x{addr:x}"
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(ops=st.lists(MEM_OP, min_size=1, max_size=25))
+def test_memory_execution_is_deterministic(ops):
+    def run_once():
+        machine = Machine(ZEC12)
+        cpu = machine.add_program(build_memory_program(ops))
+        result = machine.run()
+        machine.engines[0].quiesce()
+        return (cpu.regs.gr, result.cycles,
+                [machine.memory.read_int(a, 8) for a in ADDRESSES])
+
+    assert run_once() == run_once()

@@ -242,3 +242,72 @@ class TestCacheKey:
         cached = run_tasks(tasks, cache=cache, metrics=True)[0]
         assert cached.metrics == result_on.metrics
         assert set(tmp_path.glob("*.json")) == files_both
+
+
+class TestTxLog:
+    """The opt-in per-transaction commit/abort log (repro.verify's feed)."""
+
+    def _metered(self, metrics):
+        return run_update_experiment(CONTENDED, metrics=metrics)
+
+    def test_absent_unless_opted_in(self):
+        machine = contended_machine(n_cpus=2)
+        registry = MetricsRegistry().attach(machine)
+        machine.run()
+        assert "tx_log" not in registry.summary()
+        result = self._metered(True)
+        assert result.tx_log is None
+
+    def test_absent_without_metrics_at_all(self):
+        result = self._metered(False)
+        assert result.metrics is None
+        assert result.tx_log is None
+
+    def test_entries_reconcile_with_counters(self):
+        result = self._metered("tx_log")
+        log = result.tx_log
+        assert log is not None and log["dropped"] == 0
+        commits = [e for e in log["entries"] if e[1] == "commit"]
+        aborts = [e for e in log["entries"] if e[1] == "abort"]
+        assert len(commits) == sum(c.tx_committed for c in result.cpus)
+        assert len(aborts) == sum(c.tx_aborted for c in result.cpus)
+
+    def test_entries_are_json_native(self):
+        log = self._metered("tx_log").tx_log
+        assert json.loads(json.dumps(log)) == log
+        for cpu, kind, tbegin_ia, end_ia, code, constrained, rl, wl in (
+                log["entries"]):
+            assert kind in ("commit", "abort")
+            assert constrained in (0, 1)
+            assert rl == sorted(rl) and wl == sorted(wl)
+
+    def test_log_is_serialization_order_per_run(self):
+        # The scheduler is single-threaded, so two identical runs append
+        # identical logs — the property repro.verify's replay rests on.
+        assert (self._metered("tx_log").tx_log
+                == self._metered("tx_log").tx_log)
+
+    def test_serial_matches_parallel_workers(self):
+        tasks = [("update", CONTENDED),
+                 ("update", UpdateExperiment("tbeginc", 4, 10, 4,
+                                             iterations=8))]
+        serial = run_tasks(tasks, workers=1, metrics="tx_log")
+        parallel = run_tasks(tasks, workers=3, metrics="tx_log")
+        for s, p in zip(serial, parallel):
+            assert s.tx_log is not None
+            assert s.tx_log == p.tx_log
+
+    def test_limit_sets_dropped_counter(self):
+        machine = contended_machine(n_cpus=2)
+        registry = MetricsRegistry(tx_log=True, tx_log_limit=3)
+        registry.attach(machine)
+        machine.run()
+        log = registry.summary()["tx_log"]
+        assert len(log["entries"]) == 3
+        assert log["dropped"] > 0
+
+    def test_merge_drops_per_run_log(self):
+        summary = MetricsRegistry(tx_log=True).attach(
+            contended_machine(n_cpus=2)).summary()
+        assert "tx_log" in summary
+        assert "tx_log" not in merge_summaries([summary, summary])

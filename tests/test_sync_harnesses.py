@@ -143,3 +143,164 @@ class TestRwLock:
 
     def test_writer_bit_above_reader_counts(self):
         assert WRITER_BIT > 1 << 20
+
+
+class TestRwLockEdges:
+    """Writer/reader interplay the throughput tests never reach."""
+
+    def test_writer_waits_for_readers_to_drain(self):
+        # Two in-flight readers are preset in the lock word; the writer
+        # CPU must spin until the helper CPU has exited both.
+        def preset_readers(machine):
+            machine.memory.write_int(LOCK.disp, 2, 8)
+
+        writer = [
+            *writer_acquire(LOCK, "w"),
+            AGSI(Mem(disp=DATA), 1),
+            *writer_release(LOCK),
+        ]
+        exits = [
+            *reader_exit(LOCK, "x1"),
+            *reader_exit(LOCK, "x2"),
+        ]
+        machine = Machine(ZEC12)
+        preset_readers(machine)
+        programs = [assemble([*writer, HALT()]), assemble([*exits, HALT()])]
+        for program in programs:
+            machine.add_program(program)
+        machine.run()
+        machine.engines[0].quiesce()
+        assert machine.memory.read_int(DATA, 8) == 1
+        assert machine.memory.read_int(LOCK.disp, 8) == 0
+
+    def test_reader_waits_for_writer_to_release(self):
+        # A writer is active at start; the reader must observe the
+        # release before its CAS-increment can succeed.
+        def preset_writer(machine):
+            machine.memory.write_int(LOCK.disp, WRITER_BIT, 8)
+
+        reader = [
+            *reader_enter(LOCK, "r"),
+            AGSI(Mem(disp=DATA), 1),
+            *reader_exit(LOCK, "r2"),
+        ]
+        machine = Machine(ZEC12)
+        preset_writer(machine)
+        machine.add_program(assemble([*reader, HALT()]))
+        machine.add_program(assemble([*writer_release(LOCK), HALT()]))
+        machine.run()
+        machine.engines[0].quiesce()
+        assert machine.memory.read_int(DATA, 8) == 1
+        assert machine.memory.read_int(LOCK.disp, 8) == 0
+
+    def test_mixed_readers_and_writers_stay_consistent(self):
+        # Two writer CPUs and two reader CPUs churn concurrently; the
+        # writers' increments must all land and the word must balance.
+        writer_body = [
+            *writer_acquire(LOCK, "w"),
+            AGSI(Mem(disp=DATA), 1),
+            *writer_release(LOCK),
+        ]
+        reader_body = [
+            *reader_enter(LOCK, "r"),
+            *reader_exit(LOCK, "r2"),
+        ]
+        machine = Machine(ZEC12)
+        for body in (writer_body, writer_body, reader_body, reader_body):
+            machine.add_program(assemble([*counted_loop(body, 8), HALT()]))
+        result = machine.run()
+        assert not result.aborted_early
+        assert machine.memory.read_int(DATA, 8) == 16
+        assert machine.memory.read_int(LOCK.disp, 8) == 0
+
+
+class TestRetryExhaustion:
+    """Figure 1's abort handler: bounded retries, then the lock path."""
+
+    def test_transient_aborts_exhaust_into_fallback(self):
+        from repro.cpu.isa import TABORT
+
+        body = [TABORT(300)]  # even code: CC2, always retried
+        harness = transaction_with_fallback(
+            body, LOCK, "h", fallback_body=[AGSI(Mem(disp=DATA), 1)],
+            max_retries=6,
+        )
+        machine, _, result = run(harness)
+        assert machine.memory.read_int(DATA, 8) == 1  # fallback ran once
+        assert result.cpus[0].tx_committed == 0
+        assert result.cpus[0].tx_aborted == 6  # exactly max_retries tries
+
+    def test_permanent_abort_skips_retries(self):
+        from repro.cpu.isa import TABORT
+
+        body = [TABORT(301)]  # odd code: CC3, no retry is worthwhile
+        harness = transaction_with_fallback(
+            body, LOCK, "h", fallback_body=[AGSI(Mem(disp=DATA), 1)],
+            max_retries=6,
+        )
+        machine, _, result = run(harness)
+        assert machine.memory.read_int(DATA, 8) == 1
+        assert result.cpus[0].tx_aborted == 1
+
+    def test_max_retries_is_honoured(self):
+        from repro.cpu.isa import TABORT
+
+        harness = transaction_with_fallback(
+            [TABORT(300)], LOCK, "h",
+            fallback_body=[AGSI(Mem(disp=DATA), 1)], max_retries=2,
+        )
+        machine, _, result = run(harness)
+        assert machine.memory.read_int(DATA, 8) == 1
+        assert result.cpus[0].tx_aborted == 2
+
+    def test_exhausted_cpus_still_serialize_under_the_lock(self):
+        from repro.cpu.isa import TABORT
+
+        harness = transaction_with_fallback(
+            [TABORT(300)], LOCK, "h",
+            fallback_body=[AGSI(Mem(disp=DATA), 1)], max_retries=2,
+        )
+        machine, _, result = run(counted_loop(harness, 5), n_cpus=3)
+        assert not result.aborted_early
+        assert machine.memory.read_int(DATA, 8) == 15
+        assert machine.memory.read_int(LOCK.disp, 8) == 0
+
+
+class TestPpaBackoff:
+    """The PPA delay policy behind the harness's inter-retry pacing."""
+
+    def _assist(self, seed=7):
+        import random
+
+        from repro.core.ppa import PpaAssist
+
+        return PpaAssist(ZEC12.latencies, random.Random(seed))
+
+    def test_zero_count_means_no_delay(self):
+        assert self._assist().delay_cycles(0) == 0
+        assert self._assist().delay_cycles(-1) == 0
+
+    def test_delay_is_bounded_and_grows_exponentially(self):
+        assist = self._assist()
+        unit = ZEC12.latencies.on_chip_intervention
+        for count in range(1, 12):
+            exponent = min(count, assist.MAX_EXPONENT)
+            delay = assist.delay_cycles(count)
+            assert unit <= delay <= unit * (1 << exponent)
+
+    def test_ceiling_clamps_above_max_exponent(self):
+        assist = self._assist()
+        ceiling = (ZEC12.latencies.on_chip_intervention
+                   << assist.MAX_EXPONENT)
+        samples = [assist.delay_cycles(50) for _ in range(200)]
+        assert max(samples) <= ceiling
+
+    def test_seeded_delay_sequence_is_deterministic(self):
+        counts = [1, 3, 2, 9, 1, 50, 4]
+        a = [self._assist(seed=11).delay_cycles(c) for c in [counts[0]]]
+        seq = lambda: [  # noqa: E731 — tiny local helper
+            delay for assist in [self._assist(seed=11)]
+            for delay in (assist.delay_cycles(c) for c in counts)
+        ]
+        assert seq() == seq()
+        assert a[0] == seq()[0]
