@@ -51,7 +51,14 @@ def main() -> int:
 
     insns = sum(c.instructions for c in result.cpus)
     print(f"{args.point}: {insns} instructions, {result.cycles} cycles "
-          f"(under profiler — wall time is inflated)\n")
+          f"(under profiler — wall time is inflated)")
+    sched = result.sched or {}
+    print("scheduler: "
+          + ", ".join(f"{key}={sched.get(key, 0)}"
+                      for key in ("parks", "wakes", "heap_elides",
+                                  "heap_elided_steps", "pushpop_fusions",
+                                  "broadcast_stops"))
+          + "\n")
     stats = pstats.Stats(profiler, stream=sys.stdout)
     stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
     if args.dump:

@@ -73,6 +73,21 @@ class FetchRetry(Exception):
         self.delay = delay
 
 
+class SpinPark(Exception):
+    """Raised by a driver's ``step()`` instead of executing a certified
+    spin-loop iteration: the CPU has registered a line watch with the
+    fabric and asks the scheduler to park it — subsequent events advance
+    the carried placeholder record arithmetically instead of executing
+    instructions — until a coherence event can change the value it spins
+    on. See :mod:`repro.cpu.interpreter` for the detection/certification
+    rules and :meth:`repro.sim.scheduler.Scheduler.wake_parked` for the
+    un-park."""
+
+    def __init__(self, rec) -> None:
+        super().__init__()
+        self.rec = rec
+
+
 class MetricsSink:
     """No-op base class for the engine's explicit metrics hook points.
 
@@ -392,7 +407,7 @@ class TxEngine(CpuPort):
         self.tx.tbegin_address = ia
         self.l1.begin_transaction()
         self.store_cache.begin_transaction()
-        self.memory.apply_runs(self.store_cache.take_drained())
+        self._apply_drained_runs()
         self.stats_tx_started += 1
         m = self.metrics
         if m is not None:
@@ -471,7 +486,55 @@ class TxEngine(CpuPort):
         store cache naturally draining when the CPU idles.
         """
         self.store_cache.drain_all()
-        self.memory.apply_runs(self.store_cache.take_drained())
+        self._apply_drained_runs()
+
+    def _apply_drained_runs(self) -> None:
+        """Apply pending store-cache drains to memory (common chokepoint).
+
+        Every drain that changes the memory image flows through here (or
+        through the capacity-pressure path in :meth:`store`), so parked
+        spinners watching a drained block can be woken — a conservative
+        companion to the precise XI-time wake in the fabric.
+        """
+        runs = self.store_cache.take_drained()
+        if runs:
+            self.memory.apply_runs(runs)
+            fabric = self.fabric
+            if fabric.watches.by_block:
+                fabric.wake_drained(runs)
+
+    # ------------------------------------------------------------------
+    # spin-wait elision support (see repro.cpu.interpreter)
+    # ------------------------------------------------------------------
+
+    def add_spin_watch(self, line: int, block: int) -> None:
+        """Register this CPU's park-time line watch with the fabric."""
+        self.fabric.watch_add(self.cpu_id, line, block)
+
+    def clear_spin_watch(self) -> None:
+        self.fabric.watch_remove(self.cpu_id)
+
+    def spin_replay_loads(self, line: int, count: int) -> None:
+        """Account ``count`` elided L1-hit loads of ``line`` at wake time.
+
+        Mirrors exactly what the inline L1-hit path of :meth:`load` does
+        per load — fabric fetch counter, L1 directory clock, the entry's
+        LRU stamp, and the metrics hook — so a fast-forwarded spin is
+        indistinguishable from an executed one. The entry may already be
+        gone when the wake was caused by an invalidating XI; the loads
+        being replayed all preceded that XI, and a removed entry's LRU
+        stamp is irrelevant, so only the clock advances then.
+        """
+        self.fabric.stats_fetches += count
+        directory = self._l1_dir
+        directory._clock += count
+        entry = self._l1_entries.get(line)
+        if entry is not None:
+            entry.lru = directory._clock
+        m = self.metrics
+        if m is not None:
+            for _ in range(count):
+                m.note_fetch(line, False, "l1")
 
     def nesting_depth(self) -> Tuple[int, int]:
         """ETND: ``(latency, current nesting depth)`` (millicoded)."""
@@ -874,6 +937,9 @@ class TxEngine(CpuPort):
         drained = self.store_cache.take_drained()
         if drained:
             self.memory.apply_runs(drained)
+            fabric = self.fabric
+            if fabric.watches.by_block:
+                fabric.wake_drained(drained)
 
     def _check_per_store(self, addr: int, length: int) -> None:
         if self.per.storage_range is None:
@@ -995,7 +1061,7 @@ class TxEngine(CpuPort):
             probe_invalidate(entry.line)
         self.stq.invalidate_tx()
         self.store_cache.abort_transaction()
-        self.memory.apply_runs(self.store_cache.take_drained())
+        self._apply_drained_runs()
         self.tx.read_set.clear()
         self.tx.octowords.clear()
         self.solo_requested = False
@@ -1055,7 +1121,7 @@ class TxEngine(CpuPort):
             extra = 0
             if self.store_cache.xi_compare(line) == "drain":
                 drained = self.store_cache.drain_line(line)
-                self.memory.apply_runs(self.store_cache.take_drained())
+                self._apply_drained_runs()
                 extra = drained * self.params.latencies.store_cache_drain
             self._apply_xi(xi)
             m = self.metrics
@@ -1080,7 +1146,7 @@ class TxEngine(CpuPort):
             self._abort_now(AbortCode.CACHE_STORE_RELATED, conflict_token=line)
         elif self.store_cache.xi_compare(line) == "drain":
             self.store_cache.drain_line(line)
-            self.memory.apply_runs(self.store_cache.take_drained())
+            self._apply_drained_runs()
         self._apply_xi(xi)
         m = self.metrics
         if m is not None:
@@ -1116,7 +1182,7 @@ class TxEngine(CpuPort):
         extra = 0
         if self.store_cache.xi_compare(xi.line) == "drain":
             drained = self.store_cache.drain_line(xi.line)
-            self.memory.apply_runs(self.store_cache.take_drained())
+            self._apply_drained_runs()
             extra = drained * self.params.latencies.store_cache_drain
         self._apply_xi(xi)
         m = self.metrics

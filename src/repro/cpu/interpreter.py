@@ -24,10 +24,11 @@ architected registers:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+import os
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.abort import TransactionAbort
-from ..core.engine import FetchRetry, TxEngine
+from ..core.engine import FetchRetry, SpinPark, TxEngine
 from ..core.filtering import InterruptionCode
 from ..core.txstate import TbeginControls
 from ..errors import (
@@ -35,6 +36,7 @@ from ..errors import (
     ProgramInterruptionSignal,
     TransactionAbortSignal,
 )
+from ..mem.xi import WATCH_BLOCK_MASK
 from .assembler import Program
 from .interrupts import OsModel
 from .isa import Instruction, Mem
@@ -48,15 +50,142 @@ class _Decoded:
     probe: the handler is pre-bound to the CPU, the dispatch-table lookup
     is resolved, and the fall-through successor address is pre-computed
     (``Program.next_address`` is two dict probes plus bounds checks).
+
+    ``spin_head`` and ``batch`` carry the spin-elision predecode results:
+    the spin candidate whose loop this address heads, and the fused
+    straight-line run starting here (both None almost everywhere).
     """
 
-    __slots__ = ("insn", "handler", "pseudo", "next_ia")
+    __slots__ = ("insn", "handler", "pseudo", "next_ia", "spin_head", "batch")
 
     def __init__(self, insn: Instruction, handler: Callable,
                  pseudo: bool, next_ia: int) -> None:
         self.insn = insn
         self.handler = handler
         self.pseudo = pseudo
+        self.next_ia = next_ia
+        self.spin_head = None
+        self.batch = None
+
+
+class _SpinCandidate:
+    """A statically-qualified spin loop (see ``IsaCpu._find_spin_candidates``).
+
+    ``head`` is the backward-branch target; ``members`` the union of the
+    qualifying backward-branch ranges sharing that head; the single load
+    in the union is recorded with its effective-address terms so the
+    watched line can be computed from live registers at park time.
+    """
+
+    __slots__ = ("head", "members", "load_ia", "load_disp", "load_base",
+                 "load_index", "cert_steps", "cert_snap", "cert_states")
+
+    def __init__(self, head: int, members: frozenset, load_ia: int,
+                 load_disp: int, load_base: Optional[int],
+                 load_index: Optional[int]) -> None:
+        self.head = head
+        self.members = members
+        self.load_ia = load_ia
+        self.load_disp = load_disp
+        self.load_base = load_base
+        self.load_index = load_index
+        #: Cached certificate from an earlier park of this loop: after a
+        #: wake, one iteration reproducing it re-certifies the loop (the
+        #: full two-identical-iterations proof ran once already).
+        self.cert_steps: Optional[list] = None
+        self.cert_snap: Optional[tuple] = None
+        self.cert_states: Optional[list] = None
+
+
+class _SpinTracker:
+    """Dynamic certification state for one candidate loop.
+
+    Records rotated iterations — the ``(ia, latency)`` sequence from one
+    completion of the head to the next, head step last — together with
+    the post-step register/CC state of every step. An iteration that
+    starts and ends at the same state with the certified latencies (every
+    memory access an L1 hit) is a register fixed point whose observed
+    value is L1-stable: it certifies either against the immediately
+    preceding iteration (two identical consecutive iterations) or, after
+    a wake, against the loop's cached certificate (one matching
+    iteration re-establishes the proven fixed point). Certification arms
+    ``park_ia`` — the instruction after the head — and the CPU parks
+    there before executing it.
+    """
+
+    __slots__ = ("cand", "steps", "snap", "cur", "sigs", "park_ia",
+                 "park_states")
+
+    def __init__(self, cand: _SpinCandidate, snap: tuple) -> None:
+        self.cand = cand
+        self.steps: Optional[list] = None
+        self.snap = snap
+        self.cur: list = []
+        self.sigs: list = []
+        self.park_ia = -1
+        self.park_states: Optional[list] = None
+
+
+class _ParkedSpin:
+    """Placeholder state for a parked spinner's heap events.
+
+    While parked, the CPU's event chain stays in the scheduler's heap —
+    each pop advances ``pos``/``steps``/``loads`` arithmetically through
+    the certified ``(ias, lats)`` cycle instead of calling ``step()``, so
+    event times, push moments, and heap sequence numbers are exactly
+    those of the non-elided run (same-cycle ties resolve identically).
+    """
+
+    __slots__ = ("line", "block", "period", "ias", "lats", "states",
+                 "load_pos", "count", "pos", "steps", "loads")
+
+    def __init__(self, line: int, block: int, period: int, ias: List[int],
+                 lats: List[int], states: list, load_pos: int,
+                 count: int) -> None:
+        self.line = line
+        self.block = block
+        self.period = period
+        #: Unrotated iteration: ``ias[0]`` is the head; ``lats[j]`` is the
+        #: latency of instruction j.
+        self.ias = ias
+        self.lats = lats
+        #: ``states[j]`` is the (gr tuple, cc) at boundary j — the state
+        #: just before instruction j executes.
+        self.states = states
+        self.load_pos = load_pos
+        self.count = count
+        #: Next instruction index in the cycle, and the elided
+        #: instruction / watched-line load counts accumulated so far.
+        self.pos = 0
+        self.steps = 0
+        self.loads = 0
+
+
+class _Batch:
+    """A fused run of register-only straight-line instructions.
+
+    Executed as one ``step()``: all handlers run in order, the PSW jumps
+    to the instruction after the run, and the pre-summed latency (every
+    member has a constant latency by construction) is returned.
+
+    ``pre_latency`` is the summed latency of every member except the
+    last — the largest intermediate deadline a step-by-step execution
+    of the run would see. The scheduler's heap-eliding loop yields (or
+    charges the cycle budget) between individual instructions, so a
+    batch is only equivalent to its members when none of those
+    intermediate deadlines crosses the next queued event or the budget:
+    the interpreter fuses the batch only while
+    ``pre_latency <= step_bound`` (see :attr:`IsaCpu.step_bound`).
+    """
+
+    __slots__ = ("ops", "count", "latency", "pre_latency", "next_ia")
+
+    def __init__(self, ops: List[tuple], count: int, latency: int,
+                 pre_latency: int, next_ia: int) -> None:
+        self.ops = ops
+        self.count = count
+        self.latency = latency
+        self.pre_latency = pre_latency
         self.next_ia = next_ia
 
 
@@ -69,6 +198,7 @@ class IsaCpu:
         program: Program,
         os_model: OsModel,
         mark_sink: Optional[Callable[[str], None]] = None,
+        spin_elide: Optional[bool] = None,
     ) -> None:
         self.engine = engine
         self.program = program
@@ -95,6 +225,31 @@ class IsaCpu:
         #: (filled by :meth:`_predecode`); taken branches return it
         #: directly instead of re-resolving the label per execution.
         self._branch_tuple: Dict[int, tuple] = {}
+        #: Spin-wait elision master switch (``REPRO_SPIN_ELIDE=0``
+        #: disables detection, parking and batching; an explicit argument
+        #: overrides the environment — the REPRO_SPIN_CHECK reference run
+        #: uses that).
+        self.spin_elide = (
+            spin_elide if spin_elide is not None
+            else os.environ.get("REPRO_SPIN_ELIDE", "1") != "0"
+        )
+        #: Effective elision flag: armed by the scheduler (via
+        #: :meth:`configure_spin_elide`) only when no per-step hooks
+        #: (interrupt injection, schedule jitter) are installed. Off by
+        #: default so directly-stepped CPUs keep one-instruction-per-step
+        #: semantics.
+        self._elide_on = False
+        #: Largest ``pre_latency`` a fused batch may carry this step.
+        #: The scheduler rewrites this before every step with the
+        #: distance to the next queued event / remaining cycle budget,
+        #: so a batch never swallows a yield or budget boundary the
+        #: per-instruction loop would honor. Directly-stepped CPUs have
+        #: no such boundaries, hence the effectively-infinite default.
+        self.step_bound = 0x7FFFFFFFFFFFFFFF
+        #: Active :class:`_SpinTracker` (certification in progress).
+        self._spin: Optional[_SpinTracker] = None
+        #: :class:`_ParkedSpin` record while parked.
+        self._spin_rec: Optional[_ParkedSpin] = None
         #: Address -> pre-decoded record (see :class:`_Decoded`).
         self._decoded: Dict[int, _Decoded] = self._predecode(program)
         #: Bound-method/object aliases for the per-step hot path (the
@@ -130,7 +285,142 @@ class IsaCpu:
             decoded[loc.address] = _Decoded(
                 insn, handler, insn.pseudo, program.next_address(loc.address)
             )
+        if self.spin_elide:
+            self._find_spin_candidates(program, decoded)
+            self._build_batches(program, decoded)
         return decoded
+
+    # ------------------------------------------------------------------
+    # spin-wait elision: static candidate analysis and batching
+    # ------------------------------------------------------------------
+
+    #: Mnemonics allowed in a candidate spin body besides the single
+    #: load: register-only operations with constant latency and the
+    #: branches themselves. Anything that stores, enters/leaves a
+    #: transaction, consumes the RNG (RANDOM could repeat twice by
+    #: coincidence and falsely certify), or can fault is excluded.
+    _SPIN_BODY = frozenset((
+        "LHI", "AHI", "LR", "LA", "AGR", "SGR", "SLL", "SRL", "CGR",
+        "NGR", "OGR", "XGR", "MSGR", "NOPR", "PAUSE",
+        "J", "BRC", "CIJ", "BRCT",
+    ))
+    _SPIN_LOADS = frozenset(("LG", "LTG"))
+    _SPIN_BRANCHES = frozenset(("J", "BRC", "CIJ", "BRCT"))
+    #: "Short" loops only — bounds per-step tracking work.
+    _SPIN_MAX_BODY = 16
+
+    def _find_spin_candidates(self, program: Program,
+                              decoded: Dict[int, _Decoded]) -> None:
+        """Attach a :class:`_SpinCandidate` to every qualifying loop head.
+
+        A backward-branch range qualifies if every instruction in
+        ``[target, branch]`` is in the allowed set with at most one load.
+        Ranges sharing a head are unioned (e.g. the lock loops in
+        :mod:`repro.sync.spinlock` have a second backward branch, JNZ
+        after CSG, whose range does *not* qualify — it simply contributes
+        nothing, and execution entering it cancels certification because
+        it leaves the member set). A head qualifies if its union contains
+        exactly one load.
+        """
+        locs = [(loc.address, loc.instruction) for loc in program]
+        addr_index = {addr: i for i, (addr, _) in enumerate(locs)}
+        unions: Dict[int, set] = {}
+        for i, (addr, insn) in enumerate(locs):
+            if (insn.mnemonic not in self._SPIN_BRANCHES
+                    or insn.target is None):
+                continue
+            target = program.labels.get(insn.target)
+            if target is None or target > addr:
+                continue
+            start = addr_index.get(target)
+            if start is None or i - start >= self._SPIN_MAX_BODY:
+                continue
+            members = set()
+            loads = 0
+            ok = True
+            for member_addr, body in locs[start:i + 1]:
+                m = body.mnemonic
+                if m in self._SPIN_LOADS:
+                    loads += 1
+                elif m not in self._SPIN_BODY or body.pseudo:
+                    ok = False
+                    break
+                members.add(member_addr)
+            if ok and loads <= 1:
+                unions.setdefault(target, set()).update(members)
+        for head, members in unions.items():
+            load = None
+            count = 0
+            for addr in members:
+                insn = decoded[addr].insn
+                if insn.mnemonic in self._SPIN_LOADS:
+                    count += 1
+                    load = (addr, insn)
+            if count != 1:
+                continue
+            load_ia, load_insn = load
+            mem = load_insn.operands[1]
+            decoded[head].spin_head = _SpinCandidate(
+                head, frozenset(members), load_ia,
+                mem.disp, mem.base, mem.index,
+            )
+
+    #: Instructions fusable into straight-line batches: register-only,
+    #: constant latency, cannot branch, fault, touch memory or
+    #: transaction state. RANDOM is included — it is deterministic and
+    #: batches the workload generators' pick sequences.
+    _BATCHABLE = frozenset((
+        "LHI", "AHI", "LR", "LA", "AGR", "SGR", "SLL", "SRL", "CGR",
+        "NGR", "OGR", "XGR", "MSGR", "NOPR", "PAUSE", "LDR", "SAR",
+        "RANDOM",
+    ))
+
+    def _build_batches(self, program: Program,
+                       decoded: Dict[int, _Decoded]) -> None:
+        """Attach a :class:`_Batch` to every position of every maximal
+        straight-line run of fusable instructions (length >= 2).
+
+        Entering a run mid-way (a branch target inside it) finds the
+        suffix batch attached to that address. Spin-candidate members are
+        excluded so the certification tracker always observes candidate
+        loops one instruction at a time.
+        """
+        spin_members: set = set()
+        for dec in decoded.values():
+            if dec.spin_head is not None:
+                spin_members |= dec.spin_head.members
+        run: List[int] = []
+        for loc in program:
+            addr = loc.address
+            insn = loc.instruction
+            fits = (insn.mnemonic in self._BATCHABLE and not insn.pseudo
+                    and addr not in spin_members)
+            if run and (not fits or decoded[run[-1]].next_ia != addr):
+                self._attach_batches(run, decoded)
+                run = []
+            if fits:
+                run.append(addr)
+        self._attach_batches(run, decoded)
+
+    def _attach_batches(self, run: List[int],
+                        decoded: Dict[int, _Decoded]) -> None:
+        if len(run) < 2:
+            return
+        ops = [(decoded[a].handler, decoded[a].insn, a) for a in run]
+        consts = [
+            decoded[a].insn.operands[0]
+            if decoded[a].insn.mnemonic == "PAUSE" else 0
+            for a in run
+        ]
+        next_ia = decoded[run[-1]].next_ia
+        base = self._cost_base
+        total = sum(consts) + len(run) * base
+        last = consts[-1] + base
+        for i in range(len(run) - 1):
+            decoded[run[i]].batch = _Batch(
+                ops[i:], len(run) - i, total, total - last, next_ia
+            )
+            total -= consts[i] + base
 
     @property
     def cpu_id(self) -> int:
@@ -159,6 +449,33 @@ class IsaCpu:
             self.done = True
             return 0
         engine = self.engine
+        sp = self._spin
+        if sp is not None and sp.park_ia == ia:
+            # Armed spin tracker and the head has come around again:
+            # park instead of executing the certified iteration.
+            if self._try_park(sp):
+                raise SpinPark(self._spin_rec)
+        batch = dec.batch
+        if (
+            batch is not None
+            and self._elide_on
+            and batch.pre_latency <= self.step_bound
+            and not self._eng_tx.depth
+            and engine.pending_abort is None
+            and self._eng_per.ifetch_range is None
+        ):
+            # Straight-line block batching: no member can branch, fault,
+            # retry, or touch memory/tx state, so the whole run completes
+            # within this step with its pre-summed constant latency.
+            if sp is not None:
+                # Batches never overlap spin members — reaching one means
+                # execution left the candidate loop.
+                self._spin = None
+            for handler, op_insn, op_ia in batch.ops:
+                handler(op_ia, op_insn)
+            self.stats_instructions += batch.count
+            psw.instruction_address = batch.next_ia
+            return batch.latency
         try:
             per = self._eng_per
             if per.ifetch_range is not None:
@@ -198,20 +515,211 @@ class IsaCpu:
             if event is not None:
                 engine.pending_per_event = None
                 self.os.note_per_event(event)
-            return latency + self._cost_base
+            ret = latency + self._cost_base
+            if sp is not None or dec.spin_head is not None:
+                self._spin_track(ia, dec, ret)
+            return ret
         except FetchRetry as retry:
             # Absorb the stiff-arm here instead of unwinding through the
             # scheduler: the scheduler would convert the exception into
             # ``latency = retry.delay`` anyway, and raising across the
             # step boundary costs more than returning.
             self._retrying = ia
+            self._spin = None
             return retry.delay
         except TransactionAbortSignal as signal:
             self._retrying = None
+            self._spin = None
             return self._handle_abort(signal.abort)
         except ProgramInterruptionSignal as signal:
             self._retrying = None
+            self._spin = None
             return self._handle_os_interruption(signal.interruption)
+
+    # ------------------------------------------------------------------
+    # spin-wait elision: certification, parking, wake fast-forward
+    # ------------------------------------------------------------------
+
+    def configure_spin_elide(self, hooks_ok: bool) -> None:
+        """Scheduler contract: arm elision for a run without per-step
+        hooks (interrupt injection / schedule jitter would observe or
+        perturb the elided steps)."""
+        self._elide_on = bool(self.spin_elide and hooks_ok)
+        if not self._elide_on:
+            self._spin = None
+
+    def _spin_sig(self) -> tuple:
+        return (tuple(self.regs.gr), self._psw.condition_code)
+
+    def _spin_track(self, ia: int, dec: _Decoded, ret: int) -> None:
+        """Post-step certification hook (only called at candidate heads
+        or while a tracker is active — see the call site in step())."""
+        sp = self._spin
+        if sp is None:
+            cand = dec.spin_head
+            if cand is not None and self._elide_on:
+                sig = self._spin_sig()
+                sp = _SpinTracker(cand, sig)
+                self._spin = sp
+                if cand.cert_steps is not None and sig == cand.cert_snap:
+                    # The head just completed in the certified
+                    # head-completion state (see below): re-arm straight
+                    # from the cache, no observation iteration needed.
+                    sp.steps = cand.cert_steps
+                    sp.park_ia = cand.cert_steps[0][0]
+                    sp.park_states = cand.cert_states
+            return
+        cand = sp.cand
+        if ia not in cand.members:
+            # Execution left the candidate loop (e.g. into the CSG range
+            # of a lock acquire); restart tracking if this instruction
+            # happens to head another candidate.
+            cand = dec.spin_head
+            if cand is not None and self._elide_on:
+                sig = self._spin_sig()
+                sp = _SpinTracker(cand, sig)
+                self._spin = sp
+                if cand.cert_steps is not None and sig == cand.cert_snap:
+                    sp.steps = cand.cert_steps
+                    sp.park_ia = cand.cert_steps[0][0]
+                    sp.park_states = cand.cert_states
+            else:
+                self._spin = None
+            return
+        sig = self._spin_sig()
+        sp.cur.append((ia, ret))
+        sp.sigs.append(sig)
+        if ia != cand.head:
+            return
+        # A rotated iteration (head completion to head completion) just
+        # finished.
+        cur = sp.cur
+        n = len(cur)
+        if cand.cert_steps is not None and sig == cand.cert_snap:
+            # The live state equals the certificate's head-completion
+            # state, so the proven register fixed point is
+            # re-established: every future boundary state is the
+            # certified one, and the member latencies are deterministic
+            # functions of that state (register-only handlers, no
+            # hooks). The head's own latency need not match — it has
+            # already executed and been accounted for real; ``_try_park``
+            # verifies the line is L1-resident so the *next* head load
+            # is the certified hit.
+            sp.steps = cand.cert_steps
+            sp.park_ia = cand.cert_steps[0][0]
+            sp.park_states = cand.cert_states
+            return
+        if n >= 2:
+            if cur == sp.steps and sig == sp.snap:
+                # Two identical consecutive iterations: the iteration is
+                # a register fixed point with L1-stable latencies.
+                # ``sigs`` holds the post-step states of the rotated
+                # iteration [body..., branch, head] = boundaries
+                # [2..n-1, 0, 1]; reorder to boundary-indexed form and
+                # cache the certificate for cheap re-parks after wakes.
+                sigs = sp.sigs
+                states = [sigs[-2], sigs[-1]] + sigs[: n - 2]
+                cand.cert_steps = cur
+                cand.cert_snap = sig
+                cand.cert_states = states
+                sp.steps = cur
+                sp.park_ia = cur[0][0]
+                sp.park_states = states
+                return
+        sp.steps = cur
+        sp.snap = sig
+        sp.cur = []
+        sp.sigs = []
+
+    def _try_park(self, sp: _SpinTracker) -> bool:
+        """Validate park-time conditions and build the parked record.
+
+        Returns True with the line watch registered (caller raises
+        :class:`SpinPark`), or False with the tracker cancelled — the
+        head then executes normally and detection restarts.
+        """
+        self._spin = None
+        engine = self.engine
+        if (
+            not self._elide_on
+            or self._eng_tx.depth
+            or engine.pending_abort is not None
+            or engine.solo_requested
+            or engine.stopped_by_broadcast
+            or self._eng_per.ifetch_range is not None
+            or self._eng_per.branch_range is not None
+            or self._retrying is not None
+        ):
+            return False
+        cand = sp.cand
+        steps = sp.steps
+        n = len(steps)
+        # Unrotate: steps is [body..., head]; the executed iteration runs
+        # [head, body...].
+        ias = [cand.head]
+        lats = [steps[-1][1]]
+        for i in range(n - 1):
+            ias.append(steps[i][0])
+            lats.append(steps[i][1])
+        period = sum(lats)
+        if period <= 0:
+            return False
+        load_pos = ias.index(cand.load_ia)
+        # The load's effective address comes from the register state at
+        # its own boundary (the loop may step address registers between
+        # here and the load).
+        st_gr = sp.park_states[load_pos][0]
+        addr = cand.load_disp
+        if cand.load_base is not None:
+            addr += st_gr[cand.load_base]
+        if cand.load_index is not None:
+            addr += st_gr[cand.load_index]
+        block = addr & WATCH_BLOCK_MASK
+        if (addr + 7) & WATCH_BLOCK_MASK != block:
+            return False  # load straddles watch blocks: don't park
+        line = addr & engine._line_mask
+        if engine._l1_entries.get(line) is None:
+            # The line was invalidated between certification and this
+            # step's event — the next load would miss, breaking the
+            # certified latencies.
+            return False
+        rec = _ParkedSpin(
+            line, block, period, ias, lats, sp.park_states, load_pos, n,
+        )
+        # Parked at the instruction after the head: the head of the
+        # certifying iteration has already executed.
+        rec.pos = 1
+        self._spin_rec = rec
+        engine.add_spin_watch(line, block)
+        return True
+
+    def spin_unpark(self) -> None:
+        """Materialize the architected state of a parked spinner.
+
+        The scheduler advanced the placeholder to instruction index
+        ``rec.pos``, counting ``rec.steps`` elided instructions (the
+        in-flight one included, exactly as a real step would have been
+        executed optimistically at push time). Flush those counts, replay
+        the L1-hit accounting of the elided loads, and restore the
+        registers/CC/PSW of the resume boundary so the pending heap event
+        re-enters real execution seamlessly.
+        """
+        rec = self._spin_rec
+        if rec is None:
+            return
+        self._spin_rec = None
+        engine = self.engine
+        engine.clear_spin_watch()
+        if rec.steps:
+            self.stats_instructions += rec.steps
+            if rec.loads:
+                engine.spin_replay_loads(rec.line, rec.loads)
+        psw = self._psw
+        j = rec.pos
+        gr_values, cc = rec.states[j]
+        self.regs.gr[:] = gr_values
+        psw.condition_code = cc
+        psw.instruction_address = rec.ias[j]
 
     def _branch_to(self, target: int) -> None:
         engine = self.engine

@@ -29,7 +29,14 @@ from ..errors import ProtocolError
 from ..params import MachineParams
 from .line import LineInfo, Ownership
 from .shared import L3Cache, L4Cache
-from .xi import Xi, XiResponse, XiType
+from .xi import (
+    WATCH_BLOCK_MASK,
+    WATCH_BLOCK_SIZE,
+    LineWatchTable,
+    Xi,
+    XiResponse,
+    XiType,
+)
 
 
 class FetchOutcome:
@@ -91,6 +98,17 @@ class CoherenceFabric:
         self.params = params
         self.topology = params.topology
         self.lat = params.latencies
+        # Shared outcome instances for the constant-latency fetch results.
+        # Consumers read the fields immediately and never hold a
+        # reference across fetches, so the hot retry storm (busy back-off
+        # and stiff-arm rejects, re-attempted every few cycles by every
+        # contender of a hot line) allocates nothing.
+        self._outcome_l1 = FetchOutcome(True, self.lat.l1_hit, "l1")
+        self._outcome_l2 = FetchOutcome(True, self.lat.l2_hit, "l2")
+        self._outcome_reject = FetchOutcome(
+            False, self.lat.xi_reject_retry, "reject"
+        )
+        self._outcome_busy = FetchOutcome(False, 0, "busy")
         #: Simulated-time source (wired to the scheduler by the machine);
         #: used to serialise per-line transfers on the interconnect.
         self.clock = lambda: 0
@@ -152,6 +170,15 @@ class CoherenceFabric:
         #: re-verified against a fresh computation (used by the tests).
         self._probe_cache: Dict[int, Dict[Tuple[int, bool], int]] = {}
         self._probe_check = bool(os.environ.get("REPRO_PROBE_CHECK"))
+        #: Spin-watch registry (see :class:`~repro.mem.xi.LineWatchTable`)
+        #: and the scheduler's wake callback (wired by the machine). Both
+        #: maps are empty unless spin elision has actually parked a CPU,
+        #: so the hot-path guards are single falsy-dict checks.
+        self.watches = LineWatchTable()
+        #: ``wake_sink(cpu_id)`` un-parks a CPU (set to
+        #: :meth:`repro.sim.scheduler.Scheduler.wake_parked` while a
+        #: scheduler is running).
+        self.wake_sink = None
         # statistics
         self.stats_fetches = 0
         self.stats_rejects = 0
@@ -205,14 +232,18 @@ class CoherenceFabric:
         self.stats_fetches += 1
         port = self._ports[cpu]
         lat = self.lat
-        entry = port.l1.directory.lookup(line)
+        # ``lookup`` inlined to its dict probe (same for L2 below): the
+        # retry storm of a contended line funnels through here.
+        l1_dir = port.l1.directory
+        entry = l1_dir._entries.get(line)
 
         # L1 hit with sufficient ownership.
         if entry is not None and (
             not exclusive or entry.state is Ownership.EXCLUSIVE
         ):
-            port.l1.directory.touch(entry)
-            return FetchOutcome(True, lat.l1_hit, "l1")
+            l1_dir._clock += 1
+            entry.lru = l1_dir._clock
+            return self._outcome_l1
 
         info = self.line_info(line)
 
@@ -225,17 +256,19 @@ class CoherenceFabric:
             info.ex_owner = cpu
             self._set_private_state(port, line, Ownership.EXCLUSIVE)
             self._probe_cache.pop(line, None)
+            if self.watches.by_block:
+                self._wake_line_watchers(line)
             return FetchOutcome(True, latency, "upgrade")
 
         # L2 hit with sufficient ownership: refill the L1.
-        l2_entry = port.l2.directory.lookup(line)
+        l2_entry = port.l2.directory._entries.get(line)
         if l2_entry is not None and (
             not exclusive or l2_entry.state is Ownership.EXCLUSIVE
         ):
             port.l2.directory.touch(l2_entry)
             self._install_l1(port, line, l2_entry.state)
             self._probe_cache.pop(line, None)
-            return FetchOutcome(True, lat.l2_hit, "l2")
+            return self._outcome_l2
 
         # Full miss: the line must come from another CPU, a shared cache,
         # or memory. A line still in flight from a previous transfer
@@ -244,7 +277,9 @@ class CoherenceFabric:
         # heavy contention).
         now = self.clock()
         if now < info.busy_until:
-            return FetchOutcome(False, info.busy_until - now, "busy")
+            busy = self._outcome_busy
+            busy.latency = info.busy_until - now
+            return busy
         want = Ownership.EXCLUSIVE if exclusive else Ownership.READ_ONLY
         latency = 0
         source = "memory"
@@ -255,7 +290,7 @@ class CoherenceFabric:
             response, extra = self._send_xi(Xi(xi_type, line, cpu, owner))
             if response is XiResponse.REJECT:
                 self.stats_rejects += 1
-                return FetchOutcome(False, self.lat.xi_reject_retry, "reject")
+                return self._outcome_reject
             # Target accepted (it updated its own directories).
             if xi_type is XiType.EXCLUSIVE:
                 if info.ex_owner == owner:
@@ -279,6 +314,8 @@ class CoherenceFabric:
             info.ro_owners.discard(cpu)
             info.ex_owner = cpu
             self._purge_other_shared(cpu, line)
+            if self.watches.by_block:
+                self._wake_line_watchers(line)
         else:
             info.ro_owners.add(cpu)
         self._install_shared(cpu, line)
@@ -296,6 +333,45 @@ class CoherenceFabric:
     def probe_invalidate(self, line: int) -> None:
         """Drop memoized probe results for ``line`` (state changed)."""
         self._probe_cache.pop(line, None)
+
+    # -- spin-watch registry ---------------------------------------------------
+
+    def watch_add(self, cpu: int, line: int, block: int) -> None:
+        """Register a parked spinner's watch (engine park path)."""
+        self.watches.add(cpu, line, block)
+
+    def watch_remove(self, cpu: int) -> None:
+        """Drop a CPU's watch (wake / budget-drain path)."""
+        self.watches.remove(cpu)
+
+    def _wake_line_watchers(self, line: int) -> None:
+        """Wake every watcher of any block of ``line``.
+
+        Safety net behind the precise XI-to-target wake in
+        :meth:`_send_xi`: a parked watcher always holds the line
+        read-only, so any exclusive acquisition already XIed (and woke)
+        it — but waking spuriously is harmless (the CPU re-certifies and
+        re-parks), while missing a wake would strand it.
+        """
+        by_block = self.watches.by_block
+        for block in range(line, line + self.params.line_size,
+                           WATCH_BLOCK_SIZE):
+            cpus = by_block.get(block)
+            if cpus:
+                for cpu in sorted(cpus):
+                    self.wake_sink(cpu)
+
+    def wake_drained(self, runs) -> None:
+        """Wake watchers of every block a store-drain run touches."""
+        by_block = self.watches.by_block
+        for addr, data in runs:
+            first = addr & WATCH_BLOCK_MASK
+            last = (addr + len(data) - 1) & WATCH_BLOCK_MASK
+            for block in range(first, last + 1, WATCH_BLOCK_SIZE):
+                cpus = by_block.get(block)
+                if cpus:
+                    for cpu in sorted(cpus):
+                        self.wake_sink(cpu)
 
     def probe_latency(self, cpu: int, line: int, exclusive: bool) -> int:
         """Estimate the fetch latency without performing the fetch.
@@ -332,7 +408,7 @@ class CoherenceFabric:
     def _probe_latency_uncached(self, cpu: int, line: int, exclusive: bool) -> int:
         port = self._ports[cpu]
         lat = self.lat
-        entry = port.l1.directory.lookup(line)
+        entry = port.l1.directory._entries.get(line)
         if entry is not None and (
             not exclusive or entry.state is Ownership.EXCLUSIVE
         ):
@@ -341,7 +417,7 @@ class CoherenceFabric:
         if exclusive and info is not None and cpu in info.ro_owners:
             base = lat.l1_hit if entry is not None else lat.l2_hit
             return base + lat.xi_round_trip
-        l2_entry = port.l2.directory.lookup(line)
+        l2_entry = port.l2.directory._entries.get(line)
         if l2_entry is not None and (
             not exclusive or l2_entry.state is Ownership.EXCLUSIVE
         ):
@@ -391,6 +467,15 @@ class CoherenceFabric:
         # The target mutates its own directories (or aborts) while
         # answering, so every memoized probe of the line is suspect.
         self._probe_cache.pop(xi.line, None)
+        # A parked spinner's copy of its watched line (and hence the value
+        # its elided loads observe) can only be affected by an XI
+        # delivered *to it* for that line — wake it just before delivery,
+        # so the fast-forwarded loads land before the XI's effects,
+        # exactly as in the non-elided interleaving.
+        watched = self.watches.by_cpu.get(xi.target) if self.watches.by_cpu \
+            else None
+        if watched is not None and watched[0] == xi.line:
+            self.wake_sink(xi.target)
         response, extra = self._ports[xi.target].receive_xi(xi)
         if response is XiResponse.REJECT and not xi.xi_type.rejectable:
             raise ProtocolError(f"{xi.xi_type} XI cannot be rejected")

@@ -50,3 +50,44 @@ class Xi:
     line: int
     requester: int  # CPU id of the requesting core, or -1 for LRU XIs
     target: int     # CPU id receiving the XI
+
+
+#: Granularity of spin-watch registration: the store cache gathers and
+#: drains in 128-byte blocks, so value changes are visible per block.
+WATCH_BLOCK_SIZE = 128
+WATCH_BLOCK_MASK = ~(WATCH_BLOCK_SIZE - 1)
+
+
+class LineWatchTable:
+    """Registry of parked spinners watching a cache line.
+
+    A CPU whose spin loop has been elided (see
+    :mod:`repro.cpu.interpreter`) registers the line and 128-byte block
+    its load observes; the fabric wakes it on any XI delivered to it for
+    that line, and — as a conservative safety net — on any ownership
+    transition of, or store drain into, the watched block. Each CPU
+    watches at most one block at a time (a spin loop has exactly one
+    load by construction).
+    """
+
+    __slots__ = ("by_cpu", "by_block")
+
+    def __init__(self) -> None:
+        #: cpu id -> (line, block) it is parked on.
+        self.by_cpu: dict = {}
+        #: block -> set of cpu ids parked on it.
+        self.by_block: dict = {}
+
+    def add(self, cpu: int, line: int, block: int) -> None:
+        self.by_cpu[cpu] = (line, block)
+        self.by_block.setdefault(block, set()).add(cpu)
+
+    def remove(self, cpu: int) -> None:
+        watched = self.by_cpu.pop(cpu, None)
+        if watched is None:
+            return
+        cpus = self.by_block.get(watched[1])
+        if cpus is not None:
+            cpus.discard(cpu)
+            if not cpus:
+                del self.by_block[watched[1]]

@@ -16,13 +16,15 @@ Typical use::
 
 from __future__ import annotations
 
+import os
+
 from typing import Callable, List, Optional
 
 from ..core.engine import TxEngine
 from ..cpu.assembler import Program
 from ..cpu.interpreter import IsaCpu
 from ..cpu.interrupts import OsModel
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, ProtocolError
 from ..mem.fabric import CoherenceFabric
 from ..mem.memory import MainMemory
 from ..mem.paging import PageTable
@@ -55,8 +57,12 @@ class Machine:
         self,
         params: MachineParams = ZEC12,
         external_interrupt_interval: Optional[int] = None,
+        spin_elide: Optional[bool] = None,
     ) -> None:
         self.params = params
+        #: Per-machine override for spin-wait elision (None = honour the
+        #: ``REPRO_SPIN_ELIDE`` environment variable, the default).
+        self.spin_elide = spin_elide
         self.memory = MainMemory()
         self.page_table = PageTable()
         self.fabric = CoherenceFabric(params)
@@ -71,6 +77,9 @@ class Machine:
         #: :attr:`~repro.sim.scheduler.Scheduler.perturb`).
         self.schedule_perturb: Optional[Callable[[int, int], int]] = None
         self._next_interrupt: List[int] = []
+        #: Programs attached via :meth:`add_program` (None for custom
+        #: drivers) — lets ``REPRO_SPIN_CHECK=1`` rebuild a reference run.
+        self._programs: List[Optional[Program]] = []
 
     # ------------------------------------------------------------------
 
@@ -93,10 +102,12 @@ class Machine:
         """Attach a new CPU running an assembled ISA program."""
         engine = self._new_engine()
         recorder = MarkRecorder(self._now)
-        cpu = IsaCpu(engine, program, self.os, mark_sink=recorder)
+        cpu = IsaCpu(engine, program, self.os, mark_sink=recorder,
+                     spin_elide=self.spin_elide)
         self.drivers.append(cpu)
         self._recorders.append(recorder)
         self._next_interrupt.append(0)
+        self._programs.append(program)
         return cpu
 
     def add_driver(self, factory: Callable[[TxEngine, MarkRecorder], object]):
@@ -111,6 +122,7 @@ class Machine:
         self.drivers.append(driver)
         self._recorders.append(recorder)
         self._next_interrupt.append(0)
+        self._programs.append(None)
         return driver
 
     # ------------------------------------------------------------------
@@ -132,6 +144,21 @@ class Machine:
         """Run all drivers to completion; returns the collected results."""
         if not self.drivers:
             raise ConfigurationError("no CPUs attached to the machine")
+        check = (
+            os.environ.get("REPRO_SPIN_CHECK") == "1"
+            and self.spin_elide is not False
+            and all(p is not None for p in self._programs)
+        )
+        if check:
+            import copy
+
+            ref_perturb = copy.deepcopy(self.schedule_perturb)
+            # The reference run must start from the same memory image —
+            # callers may preload initial values before run().
+            ref_pages = {
+                page: bytearray(data)
+                for page, data in self.memory._pages.items()
+            }
         self.scheduler = Scheduler(self.drivers)
         # The hook is a per-step no-op without interrupt pressure — leave
         # it unset so the scheduler's inner loop skips it entirely.
@@ -146,11 +173,72 @@ class Machine:
         aborted_early = max_cycles is not None and any(
             not d.done for d in self.drivers
         )
-        return SimResult(
+        sched = self.scheduler
+        result = SimResult(
             cycles=cycles,
             cpus=[self._cpu_result(i) for i in range(len(self.drivers))],
             aborted_early=aborted_early,
+            sched={
+                "parks": sched.stats_parks,
+                "wakes": sched.stats_wakes,
+                "heap_elides": sched.stats_heap_elides,
+                "heap_elided_steps": sched.stats_heap_elided_steps,
+                "pushpop_fusions": sched.stats_pushpop_fusions,
+                "broadcast_stops": sched.stats_broadcast_stops,
+            },
         )
+        if check:
+            self._spin_check(result, ref_perturb, ref_pages, max_cycles)
+        return result
+
+    def _spin_check(
+        self,
+        result: SimResult,
+        ref_perturb: Optional[Callable[[int, int], int]],
+        ref_pages,
+        max_cycles: Optional[int],
+    ) -> None:
+        """``REPRO_SPIN_CHECK=1``: replay the run with spin-wait elision
+        forced off and assert the architected outcome is bit-identical —
+        cycles, per-CPU statistics, intervals and final memory contents.
+
+        The reference machine is built with ``spin_elide=False``, which
+        also keeps it from recursing into another check.
+        """
+        ref = Machine(
+            self.params,
+            external_interrupt_interval=self.external_interrupt_interval,
+            spin_elide=False,
+        )
+        for program in self._programs:
+            ref.add_program(program)
+        ref.memory._pages.update(ref_pages)
+        ref.schedule_perturb = ref_perturb
+        ref_result = ref.run(max_cycles=max_cycles)
+        if ref_result != result:
+            raise ProtocolError(
+                "spin-elision divergence: elided run "
+                f"{result!r} != reference {ref_result!r}"
+            )
+        mine = {
+            page: bytes(data)
+            for page, data in self.memory._pages.items()
+            if any(data)
+        }
+        theirs = {
+            page: bytes(data)
+            for page, data in ref.memory._pages.items()
+            if any(data)
+        }
+        if mine != theirs:
+            diff = sorted(
+                set(mine) ^ set(theirs)
+                | {p for p in set(mine) & set(theirs) if mine[p] != theirs[p]}
+            )
+            raise ProtocolError(
+                "spin-elision divergence: final memory differs on "
+                f"page(s) {diff}"
+            )
 
     def _cpu_result(self, index: int) -> CpuResult:
         engine = self.engines[index]

@@ -364,20 +364,18 @@ class MetricsRegistry:
                 "xis": machine.fabric.stats_xis,
             }
             scheduler = machine.scheduler
-            broadcast_stops = (
-                scheduler.stats_broadcast_stops if scheduler is not None else 0
-            )
+            sched_stats = _scheduler_stats(scheduler)
             cycles = scheduler.now if scheduler is not None else 0
         else:
             fabric = {"fetches": 0, "rejects": 0, "xis": 0}
-            broadcast_stops = 0
+            sched_stats = _scheduler_stats(None)
             cycles = 0
         summary: Dict[str, Any] = {
             "schema": SCHEMA,
             "runs": 1,
             "n_cpus": len(cpu_dicts),
             "cycles": cycles,
-            "totals": _totals_from_cpus(cpu_dicts, fabric, broadcast_stops),
+            "totals": _totals_from_cpus(cpu_dicts, fabric, sched_stats),
             "cpus": cpu_dicts,
         }
         if self.tx_log is not None:
@@ -389,9 +387,20 @@ def _empty_hist_dict() -> Dict[str, Any]:
     return {"count": 0, "total": 0, "max": 0, "mean": 0.0, "histogram": {}}
 
 
+#: Scheduler self-observability counters surfaced in ``totals["scheduler"]``.
+_SCHED_KEYS = ("parks", "wakes", "heap_elides", "heap_elided_steps",
+               "pushpop_fusions", "broadcast_stops")
+
+
+def _scheduler_stats(scheduler) -> Dict[str, int]:
+    if scheduler is None:
+        return {key: 0 for key in _SCHED_KEYS}
+    return {key: getattr(scheduler, f"stats_{key}", 0) for key in _SCHED_KEYS}
+
+
 def _totals_from_cpus(cpu_dicts: List[Dict[str, Any]],
                       fabric: Dict[str, int],
-                      broadcast_stops: int) -> Dict[str, Any]:
+                      sched_stats: Dict[str, int]) -> Dict[str, Any]:
     totals: Dict[str, Any] = {key: 0 for key in _CPU_SUM_KEYS}
     for key in _CPU_COUNTER_KEYS:
         totals[key] = Counter()
@@ -410,7 +419,8 @@ def _totals_from_cpus(cpu_dicts: List[Dict[str, Any]],
         totals[key] = dict(sorted(totals[key].items()))
     totals["store_cache_occupancy_hwm"] = hwm
     totals["fabric"] = dict(fabric)
-    totals["broadcast_stops"] = broadcast_stops
+    totals["scheduler"] = dict(sched_stats)
+    totals["broadcast_stops"] = sched_stats.get("broadcast_stops", 0)
     return totals
 
 
@@ -455,7 +465,17 @@ def merge_summaries(summaries: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
         )
         for key in ("fetches", "rejects", "xis"):
             a["fabric"][key] += b["fabric"][key]
-        a["broadcast_stops"] += b["broadcast_stops"]
+        # ``.get`` tolerates summaries serialized before the scheduler
+        # counter block existed.
+        sched_a = a.get("scheduler") or {key: 0 for key in _SCHED_KEYS}
+        sched_b = b.get("scheduler") or {}
+        a["scheduler"] = {
+            key: sched_a.get(key, 0) + sched_b.get(key, 0)
+            for key in _SCHED_KEYS
+        }
+        a["broadcast_stops"] = (
+            a.get("broadcast_stops", 0) + b.get("broadcast_stops", 0)
+        )
     if merged is None:
         merged = {
             "schema": SCHEMA,
@@ -463,7 +483,8 @@ def merge_summaries(summaries: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
             "n_cpus": 0,
             "cycles": 0,
             "totals": _totals_from_cpus([], {"fetches": 0, "rejects": 0,
-                                             "xis": 0}, 0),
+                                             "xis": 0},
+                                        _scheduler_stats(None)),
         }
     return merged
 

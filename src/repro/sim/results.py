@@ -52,6 +52,13 @@ class SimResult:
     metrics: Optional[Dict[str, Any]] = field(
         default=None, compare=False, repr=False
     )
+    #: Scheduler self-observability counters (parks, wakes, heap_elides,
+    #: heap_elided_steps, pushpop_fusions, broadcast_stops). Not part of
+    #: the architected result — spin-wait elision changes them while
+    #: leaving everything the equality above compares bit-identical.
+    sched: Optional[Dict[str, int]] = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def n_cpus(self) -> int:

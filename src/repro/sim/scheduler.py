@@ -22,7 +22,8 @@ from __future__ import annotations
 import heapq
 from typing import List, Optional, Tuple
 
-from ..core.engine import FetchRetry
+from ..core.engine import FetchRetry, SpinPark
+from ..errors import MachineStateError
 
 
 class Scheduler:
@@ -45,6 +46,23 @@ class Scheduler:
         self._horizon = 0
         #: Times the broadcast-stop (solo) token was granted to a CPU.
         self.stats_broadcast_stops = 0
+        #: Spin-wait elision: parked CPUs (index -> _ParkedSpin
+        #: placeholder). A parked CPU's event chain stays in the heap —
+        #: pops advance the placeholder arithmetically instead of calling
+        #: ``step()``, preserving event times and heap sequence numbers
+        #: exactly. The fabric un-parks it via :meth:`wake_parked` when a
+        #: coherence event touches its watched line.
+        self._parked: dict = {}
+        #: Drivers that are neither done nor parked. When this hits zero
+        #: with spinners still parked, nothing can ever write their
+        #: watched lines again (deadlock guard).
+        self._n_active = len(drivers)
+        # Self-observability counters (surfaced on SimResult.sched).
+        self.stats_parks = 0
+        self.stats_wakes = 0
+        self.stats_heap_elides = 0
+        self.stats_heap_elided_steps = 0
+        self.stats_pushpop_fusions = 0
         #: CPUs with an outstanding broadcast-stop request, maintained
         #: incrementally: engines request solo only during their own
         #: step, so observing after each step is complete.
@@ -92,6 +110,22 @@ class Scheduler:
         pre_step = self.pre_step
         perturb = self.perturb
         limit = max_cycles
+        # Arm spin elision on the drivers. Per-step hooks must observe
+        # (pre_step) or perturb (jitter) every instruction individually,
+        # so either one disables parking and batching; the drivers also
+        # honour REPRO_SPIN_ELIDE=0 themselves. The shared fabric's wake
+        # sink is pointed at this scheduler for the duration of the run.
+        hooks_ok = pre_step is None and perturb is None
+        fabric = None
+        for driver in drivers:
+            configure = getattr(driver, "configure_spin_elide", None)
+            if configure is not None:
+                configure(hooks_ok)
+                engine = getattr(driver, "engine", None)
+                if engine is not None:
+                    fabric = engine.fabric
+        if fabric is not None:
+            fabric.wake_sink = self.wake_parked
         event = None
         while True:
             if event is None:
@@ -106,10 +140,10 @@ class Scheduler:
             event = None
             driver = drivers[index]
             if driver.done:
+                self._n_active -= 1
                 continue
             if limit is not None and time > limit:
-                self.now = limit
-                return self.now
+                return self._finish_budget(limit)
             # The solo-token bookkeeping only matters while some CPU has
             # (or recently had) a broadcast-stop outstanding; the common
             # case skips it entirely.
@@ -136,56 +170,254 @@ class Scheduler:
             # machinery could engage: the driver finishing, a
             # broadcast-stop request or deferral appearing, or the next
             # deadline reaching another CPU's event.
-            engine = driver.engine
-            while True:
-                if time > self.now:
-                    self.now = time
-                if pre_step is not None:
-                    pre_step(index, self.now)
-                try:
-                    latency = driver.step()
-                except FetchRetry as retry:
-                    latency = retry.delay
-                if perturb is not None:
-                    latency = perturb(index, latency)
-                end = time + latency if latency > 0 else time
-                if (
-                    driver.done
-                    or engine.solo_requested
-                    or solo_waiters
-                    or deferred
+            parked = self._parked
+            rec = parked.get(index) if parked else None
+            if rec is None:
+                engine = driver.engine
+                elide_steps = 0
+                # The heap cannot change while this driver steps (only
+                # the scheduler pushes), so its top is loop-invariant.
+                top_time = heap[0][0] if heap else None
+                # Whether any cross-CPU machinery is engaged right now.
+                # None of these can become true *between* the entry check
+                # and a step (only a step sets solo_requested, and the
+                # loop breaks immediately after), so it is loop-invariant
+                # too. While engaged, the loop yields after every single
+                # instruction — a fused batch would swallow that yield,
+                # so the batch window is forced to zero.
+                solo_engaged = (
+                    engine.solo_requested or solo_waiters or deferred
                     or self._stop_applied_for != "idle"
-                    or (heap and end >= heap[0][0])
-                ):
-                    break
-                if limit is not None and end > limit:
-                    # Mirror of the pop-time budget check for the event
-                    # whose push was elided.
+                )
+                while True:
+                    if time > self.now:
+                        self.now = time
+                    if pre_step is not None:
+                        pre_step(index, self.now)
+                    # Batch window: a fused batch steps through its
+                    # members without returning here, so none of its
+                    # intermediate deadlines may reach the next queued
+                    # event (strict: equal-time queued events run first)
+                    # or exceed the cycle budget. The driver compares
+                    # its batches' pre_latency against this bound.
+                    if solo_engaged:
+                        driver.step_bound = 0
+                    else:
+                        bound = (
+                            top_time - time - 1 if top_time is not None
+                            else 0x7FFFFFFFFFFFFFFF
+                        )
+                        if limit is not None and limit - time < bound:
+                            bound = limit - time
+                        driver.step_bound = bound
+                    try:
+                        latency = driver.step()
+                    except FetchRetry as retry:
+                        latency = retry.delay
+                    except SpinPark as park:
+                        # The driver certified a spin loop and parked
+                        # before executing its head. Switch this CPU's
+                        # event chain to placeholder mode: the advance
+                        # below continues from the park moment exactly
+                        # where real execution stopped.
+                        parked[index] = rec = park.rec
+                        self._n_active -= 1
+                        self.stats_parks += 1
+                        break
+                    if perturb is not None:
+                        latency = perturb(index, latency)
+                    end = time + latency if latency > 0 else time
+                    if (
+                        driver.done
+                        or engine.solo_requested
+                        or solo_waiters
+                        or deferred
+                        or self._stop_applied_for != "idle"
+                        or (top_time is not None and end >= top_time)
+                    ):
+                        break
+                    if limit is not None and end > limit:
+                        # Mirror of the pop-time budget check for the
+                        # event whose push was elided.
+                        if end > self._horizon:
+                            self._horizon = end
+                        return self._finish_budget(limit)
+                    time = end
+                    elide_steps += 1
+                if elide_steps:
+                    self.stats_heap_elides += 1
+                    self.stats_heap_elided_steps += elide_steps
+                if rec is None:
                     if end > self._horizon:
                         self._horizon = end
-                    self.now = limit
-                    return self.now
-                time = end
-            if end > self._horizon:
-                self._horizon = end
-            if not driver.done:
+                    if not driver.done:
+                        self._seq += 1
+                        item = (end, self._seq, index)
+                        if engine.solo_requested:
+                            heappush(heap, item)
+                            solo_waiters.add(index)
+                        elif heap and not deferred and not solo_waiters:
+                            # Nothing can run between this push and the
+                            # next pop, so fuse them; the popped event
+                            # still flows through the full solo/limit
+                            # checks above.
+                            event = heappushpop(heap, item)
+                            self.stats_pushpop_fusions += 1
+                        else:
+                            heappush(heap, item)
+                    else:
+                        self._n_active -= 1
+                    if deferred and self._solo_index() is None:
+                        self._flush_deferred()
+                    continue
+            # Placeholder advance for a parked spinner: mirror the
+            # heap-eliding loop above step for step, but walk the
+            # certified (ias, lats) cycle arithmetically instead of
+            # executing instructions. Event times, push moments, and
+            # sequence numbers come out identical to the non-elided run.
+            if self._n_active == 0 and not deferred and not solo_waiters:
+                if limit is None:
+                    self._raise_parked_deadlock()
+            if solo_waiters or deferred or self._stop_applied_for != "idle":
+                # Solo machinery engaged: advance a single step and hand
+                # the pushed event back through the full outer-loop
+                # checks so it can be deferred like any other event.
+                if time > self.now:
+                    self.now = time
+                pos = rec.pos
+                end = time + rec.lats[pos]
+                rec.steps += 1
+                if pos == rec.load_pos:
+                    rec.loads += 1
+                pos += 1
+                rec.pos = 0 if pos == rec.count else pos
+                if end > self._horizon:
+                    self._horizon = end
                 self._seq += 1
-                item = (end, self._seq, index)
-                if engine.solo_requested:
-                    heappush(heap, item)
-                    solo_waiters.add(index)
-                elif heap and not deferred and not solo_waiters:
-                    # Nothing can run between this push and the next pop,
-                    # so fuse them; the popped event still flows through
-                    # the full solo/limit checks above.
+                heappush(heap, (end, self._seq, index))
+                if deferred and self._solo_index() is None:
+                    self._flush_deferred()
+                continue
+            # Fast drain: while the heap keeps handing back parked
+            # CPUs' events, nothing real can run, no state the outer
+            # loop checks (done flags, solo requests, deferrals, wake
+            # callbacks) can change — so advance placeholders in a tight
+            # loop. ``self.now`` needs no updates inside the drain:
+            # nothing observes it until a real event exits to the outer
+            # loop, whose pop time bounds every drained time from above.
+            seq = self._seq
+            while True:
+                lats = rec.lats
+                n = rec.count
+                pos = rec.pos
+                load_pos = rec.load_pos
+                steps = 0
+                loads = 0
+                top_time = heap[0][0] if heap else None
+                while True:
+                    end = time + lats[pos]
+                    steps += 1
+                    if pos == load_pos:
+                        loads += 1
+                    pos += 1
+                    if pos == n:
+                        pos = 0
+                    if top_time is not None and end >= top_time:
+                        break
+                    if limit is not None and end > limit:
+                        rec.pos = pos
+                        rec.steps += steps
+                        rec.loads += loads
+                        if end > self._horizon:
+                            self._horizon = end
+                        self._seq = seq
+                        return self._finish_budget(limit)
+                    time = end
+                rec.pos = pos
+                rec.steps += steps
+                rec.loads += loads
+                if end > self._horizon:
+                    self._horizon = end
+                seq += 1
+                item = (end, seq, index)
+                if heap:
                     event = heappushpop(heap, item)
+                    self.stats_pushpop_fusions += 1
+                    time, _, index = event
+                    if limit is not None and time > limit:
+                        self._seq = seq
+                        return self._finish_budget(limit)
+                    nrec = parked.get(index)
+                    if nrec is not None:
+                        rec = nrec
+                        continue
+                    # A real CPU's event surfaced: return it through the
+                    # outer loop (done/solo checks re-run there).
                 else:
                     heappush(heap, item)
-            if deferred and self._solo_index() is None:
-                self._flush_deferred()
+                    event = None
+                break
+            self._seq = seq
         if self._horizon > self.now:
             self.now = self._horizon
         return self.now
+
+    # ------------------------------------------------------------------
+    # spin-wait elision support
+    # ------------------------------------------------------------------
+
+    def wake_parked(self, index: int) -> None:
+        """Fabric callback: un-park a CPU after a coherence event on its
+        watched line. Flushes the placeholder's elided-instruction and
+        load counts into the driver and restores the architected state of
+        the resume boundary (see ``IsaCpu.spin_unpark``); the CPU's
+        pending heap event then re-enters real execution unchanged. A
+        no-op for CPUs that are not parked, so conservative wake sources
+        need no checks.
+        """
+        rec = self._parked.pop(index, None)
+        if rec is None:
+            return
+        self.drivers[index].spin_unpark()
+        self._n_active += 1
+        self.stats_wakes += 1
+
+    def _finish_budget(self, limit: int) -> int:
+        """Stop at the cycle budget, materializing parked CPUs first.
+
+        Each placeholder has counted exactly the instructions a
+        non-elided run would have executed by this point (the in-flight
+        one included), so flushing the counts and dropping the watches is
+        the whole job.
+        """
+        if self._parked:
+            for index in sorted(self._parked):
+                self.drivers[index].spin_unpark()
+                self.stats_wakes += 1
+            self._parked.clear()
+        self.now = limit
+        return self.now
+
+    def _raise_parked_deadlock(self) -> None:
+        details = []
+        for index in sorted(self._parked):
+            engine = getattr(self.drivers[index], "engine", None)
+            watched = (
+                engine.fabric.watches.by_cpu.get(index)
+                if engine is not None else None
+            )
+            if watched is not None:
+                details.append(
+                    f"cpu {index} parked on block 0x{watched[1]:x} "
+                    f"(line 0x{watched[0]:x})"
+                )
+            else:
+                details.append(f"cpu {index} parked")
+        raise MachineStateError(
+            "all runnable CPUs finished but parked spinners remain — "
+            "nothing can ever change the watched storage (deadlocked "
+            "spin): " + "; ".join(details)
+        )
 
     def _apply_broadcast_stop(self, solo) -> None:
         """Mark all non-solo CPUs as stopped while a solo is in effect.
@@ -193,6 +425,10 @@ class Scheduler:
         A stopped CPU cannot complete instructions, so it must not
         stiff-arm the solo CPU's fetches — its conflicting transactions
         abort immediately instead.
+
+        Parked spinners need no special handling: their placeholder
+        events sit in the heap like any other CPU's and get deferred
+        (and time-warped) by the ordinary solo machinery.
         """
         for index, driver in enumerate(self.drivers):
             driver.engine.stopped_by_broadcast = (

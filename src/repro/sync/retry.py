@@ -96,6 +96,10 @@ def transaction_with_fallback(
         AHI(RETRY_COUNT_REGISTER, 1),                       # increment retry count
         CIJNL(RETRY_COUNT_REGISTER, max_retries, f"{p}.fallback"),
         PPA(RETRY_COUNT_REGISTER),                          # random delay
+        # Spin site: the .wait/BRC/PAUSE/J loop below is an elidable
+        # spin body (single LTG load, register-idempotent) — a waiter
+        # parks under a line watch on the lock block until the fallback
+        # holder's release store drains.
         (f"{p}.wait", LTG(LOCK_TEST_REGISTER, lock)),       # wait for lock free
         BRC(8, f"{p}.loop"),                                # free: retry the tx
         PAUSE(),

@@ -53,6 +53,15 @@ def writer_acquire(lock: Mem, prefix: str, r_old: int = 1, r_new: int = 2) -> Li
     Test-and-test-and-set: spin read-only until the word is zero, so
     waiting writers do not bounce the line exclusively and starve the
     current holder's release store.
+
+    Spin site: the inner LTG/JNZ pair is a pure load-test-branch loop
+    and a spin-elision candidate. The second JNZ (after the CSG) also
+    branches back to ``spin``, but its range contains a CSG store, so
+    it does not qualify and contributes nothing; executing it simply
+    cancels any certification in progress (see
+    ``repro.cpu.interpreter._find_spin_candidates``). Reader loops
+    (``reader_enter``/``reader_exit``) end in a CSG and are never
+    elided.
     """
     spin = f"{prefix}.wacq"
     return [

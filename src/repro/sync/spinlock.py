@@ -22,6 +22,13 @@ def acquire_lock(lock: Mem, prefix: str, r_old: int = 1, r_new: int = 2) -> List
     The busy path paces its retests with PAUSE so waiters spin on their
     local read-only copy instead of hammering the interconnect; the
     uncontended path length is unchanged.
+
+    Spin site: the ``spin``/JZ/PAUSE/J loop is an elidable spin body —
+    its only memory access is the LTG load of the lock line and its
+    register effects are idempotent, so the interpreter's spin-wait
+    elision can park a waiter here under a line watch on the lock block
+    (see ``repro.cpu.interpreter``). The CSG retry loop is *not*
+    elidable: CSG writes memory.
     """
     spin = f"{prefix}.spin"
     attempt = f"{prefix}.attempt"
