@@ -55,10 +55,27 @@ def main() -> int:
     sched = result.sched or {}
     print("scheduler: "
           + ", ".join(f"{key}={sched.get(key, 0)}"
-                      for key in ("parks", "wakes", "heap_elides",
+                      for key in ("parks", "wakes", "retry_parks",
+                                  "retry_wakes", "heap_elides",
                                   "heap_elided_steps", "pushpop_fusions",
-                                  "broadcast_stops"))
-          + "\n")
+                                  "broadcast_stops", "calendar_resizes",
+                                  "bucket_max_occupancy")))
+    # Event-queue composition: every queue event is either an elided
+    # placeholder advance (parked spin / parked retry) or a plain step
+    # of a running CPU (heap-elided steps never enter the queue).
+    events = sched.get("events", 0)
+    retry_ticks = sched.get("retry_ticks", 0)
+    spin_steps = sched.get("spin_steps", 0)
+    plain = events - retry_ticks - spin_steps
+    if events:
+        print("event-queue composition: "
+              f"{events} events = "
+              f"{spin_steps} parked-spin placeholders ("
+              f"{100.0 * spin_steps / events:.1f}%) + "
+              f"{retry_ticks} parked-retry ticks ("
+              f"{100.0 * retry_ticks / events:.1f}%) + "
+              f"{plain} plain steps ({100.0 * plain / events:.1f}%)")
+    print()
     stats = pstats.Stats(profiler, stream=sys.stdout)
     stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
     if args.dump:

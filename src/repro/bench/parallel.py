@@ -104,12 +104,14 @@ def result_from_payload(payload: Dict[str, Any]) -> Any:
 # ----------------------------------------------------------------------
 
 #: Version tag for the simulator's data-plane representation (paged
-#: bytearray memory, line-indexed store forwarding, run-based drains).
+#: bytearray memory, line-indexed store forwarding, run-based drains;
+#: v4: retry-storm elision + calendar-queue scheduler — new
+#: ``SimResult.sched`` counter block).
 #: Bumped whenever the stored-result format or the memory/store-cache
 #: semantics change in a way the source hash alone should not be trusted
 #: to catch (e.g. a rename-only refactor that keeps byte-identical
 #: sources elsewhere, or an external cache shared across checkouts).
-DATA_PLANE_VERSION = 3
+DATA_PLANE_VERSION = 4
 
 _CODE_VERSION: Optional[str] = None
 

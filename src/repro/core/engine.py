@@ -65,12 +65,19 @@ _OCTO_MASK = ~(OCTOWORD - 1)
 
 
 class FetchRetry(Exception):
-    """A fetch was stiff-armed; re-execute the operation after ``delay``."""
+    """A fetch was stiff-armed; re-execute the operation after ``delay``.
 
-    def __init__(self, delay: int) -> None:
+    ``info`` is the ``(line, exclusive)`` key of the fetch that raised,
+    set by the two raise sites in :meth:`TxEngine._fetch` — the retry
+    certification in :mod:`repro.cpu.interpreter` uses it to recognise a
+    back-off chain re-probing the same line.
+    """
+
+    def __init__(self, delay: int, info=None) -> None:
         # No super().__init__ — the exception carries only ``delay`` and
-        # is raised hundreds of thousands of times per sweep.
+        # ``info`` and is raised hundreds of thousands of times per sweep.
         self.delay = delay
+        self.info = info
 
 
 class SpinPark(Exception):
@@ -82,6 +89,23 @@ class SpinPark(Exception):
     on. See :mod:`repro.cpu.interpreter` for the detection/certification
     rules and :meth:`repro.sim.scheduler.Scheduler.wake_parked` for the
     un-park."""
+
+    def __init__(self, rec) -> None:
+        super().__init__()
+        self.rec = rec
+
+
+class RetryPark(Exception):
+    """Raised by a driver's ``step()`` instead of re-executing a certified
+    ``FetchRetry`` back-off step: the CPU has registered a retry watch
+    with the fabric and asks the scheduler to park it — subsequent events
+    re-evaluate the probe/busy/stiff-arm decision against live fabric
+    state and advance the chain arithmetically (exact timestamps,
+    sequence numbers and reject counters) until the fetch would succeed,
+    at which point the CPU wakes and the pending event re-enters real
+    execution unchanged. See :mod:`repro.cpu.interpreter` for the
+    certification rules and :meth:`repro.sim.scheduler.Scheduler._retry_tick`
+    for the per-event advance."""
 
     def __init__(self, rec) -> None:
         super().__init__()
@@ -514,6 +538,13 @@ class TxEngine(CpuPort):
     def clear_spin_watch(self) -> None:
         self.fabric.watch_remove(self.cpu_id)
 
+    def add_retry_watch(self, line: int, block: int) -> None:
+        """Register this CPU's parked retry chain with the fabric."""
+        self.fabric.retry_watch_add(self.cpu_id, line, block)
+
+    def clear_retry_watch(self) -> None:
+        self.fabric.retry_watch_remove(self.cpu_id)
+
     def spin_replay_loads(self, line: int, count: int) -> None:
         """Account ``count`` elided L1-hit loads of ``line`` at wake time.
 
@@ -806,14 +837,14 @@ class TxEngine(CpuPort):
                 probe = self.fabric.probe_latency(self.cpu_id, line, exclusive)
                 if probe > lat.l2_hit:
                     self._fetch_wait = key
-                    raise FetchRetry(probe - lat.l1_hit)
+                    raise FetchRetry(probe - lat.l1_hit, key)
         self._fetch_wait = None
         outcome = self.fabric.try_fetch(self.cpu_id, line, exclusive)
         # Our own install may have evicted our own footprint (note_l1/l2
         # hooks set pending aborts); deliver before using the data.
         self.raise_if_pending()
         if not outcome.done:
-            raise FetchRetry(outcome.latency)
+            raise FetchRetry(outcome.latency, key)
         latency = outcome.latency
         if latency > lat.l1_hit:
             latency = lat.l1_hit
@@ -1114,10 +1145,9 @@ class TxEngine(CpuPort):
     def receive_xi(self, xi: Xi) -> Tuple[XiResponse, int]:
         line = xi.line
         if xi.xi_type in (XiType.EXCLUSIVE, XiType.DEMOTE):
-            if self.store_cache.xi_compare(line) == "reject":
-                return self._stiff_arm(xi, AbortCode.STORE_CONFLICT)
-            if xi.xi_type is XiType.EXCLUSIVE and self._read_set_hit(line):
-                return self._stiff_arm(xi, AbortCode.FETCH_CONFLICT)
+            conflict = self._xi_conflict_code(xi.xi_type, line)
+            if conflict is not None:
+                return self._stiff_arm(xi, conflict)
             extra = 0
             if self.store_cache.xi_compare(line) == "drain":
                 drained = self.store_cache.drain_line(line)
@@ -1152,6 +1182,38 @@ class TxEngine(CpuPort):
         if m is not None:
             m.note_xi(xi, XiResponse.ACCEPT)
         return (XiResponse.ACCEPT, 0)
+
+    def _xi_conflict_code(self, xi_type: XiType, line: int):
+        """The abort code a rejectable XI for ``line`` would conflict on,
+        or None when it would be accepted cleanly. Pure query — shared
+        between :meth:`receive_xi` (which acts on it) and
+        :meth:`would_reject_xi` (the retry-parking peek), so the two can
+        never drift apart."""
+        if self.store_cache.xi_compare(line) == "reject":
+            return AbortCode.STORE_CONFLICT
+        if xi_type is XiType.EXCLUSIVE and self._read_set_hit(line):
+            return AbortCode.FETCH_CONFLICT
+        return None
+
+    def would_reject_xi(self, xi_type: XiType, line: int) -> bool:
+        """Exact, effect-free peek of the stiff-arm decision an incoming
+        rejectable XI would get from :meth:`receive_xi` right now.
+
+        Used by the scheduler's retry-parking tick: a parked retry
+        waiter's fetch attempt only stays a *retry* when the owner would
+        reject the XI — any other outcome (clean accept, drain-then-
+        accept, threshold abort) lets the fetch succeed, so the waiter is
+        woken and the attempt executes for real. Mirrors
+        :meth:`_stiff_arm`: the reject requires a conflict, no
+        broadcast-stop, and the post-increment reject count still under
+        the hang-avoidance threshold.
+        """
+        if self._xi_conflict_code(xi_type, line) is None:
+            return False
+        return (
+            not self.stopped_by_broadcast
+            and self.tx.xi_rejects + 1 < self.params.tx.xi_reject_threshold
+        )
 
     def _read_set_hit(self, line: int) -> bool:
         """Precise read set plus the imprecise LRU-extension rows.

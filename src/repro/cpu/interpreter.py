@@ -28,7 +28,7 @@ import os
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.abort import TransactionAbort
-from ..core.engine import FetchRetry, SpinPark, TxEngine
+from ..core.engine import FetchRetry, RetryPark, SpinPark, TxEngine
 from ..core.filtering import InterruptionCode
 from ..core.txstate import TbeginControls
 from ..errors import (
@@ -36,7 +36,7 @@ from ..errors import (
     ProgramInterruptionSignal,
     TransactionAbortSignal,
 )
-from ..mem.xi import WATCH_BLOCK_MASK
+from ..mem.xi import WATCH_BLOCK_MASK, XiType
 from .assembler import Program
 from .interrupts import OsModel
 from .isa import Instruction, Mem
@@ -136,6 +136,10 @@ class _ParkedSpin:
     those of the non-elided run (same-cycle ties resolve identically).
     """
 
+    #: Scheduler dispatch flag: placeholder advances use the certified
+    #: latency cycle, not the retry tick.
+    is_retry = False
+
     __slots__ = ("line", "block", "period", "ias", "lats", "states",
                  "load_pos", "count", "pos", "steps", "loads")
 
@@ -159,6 +163,58 @@ class _ParkedSpin:
         self.pos = 0
         self.steps = 0
         self.loads = 0
+
+
+class _ParkedRetry:
+    """Placeholder state for a parked ``FetchRetry`` back-off chain.
+
+    While parked, the CPU's event chain stays in the scheduler's queue —
+    each pop re-evaluates the probe/busy/stiff-arm decision of the
+    pending fetch against live fabric state (see
+    :meth:`repro.sim.scheduler.Scheduler._retry_tick`) instead of
+    re-executing the instruction. The chain's engine-visible effects
+    (fetch/reject/probe counters, XI deliveries with their reject
+    accounting on the owner, the ``_fetch_wait`` arm/clear alternation)
+    are applied exactly as the real steps would, and the architected CPU
+    state is never touched (a retry step completes no instruction), so
+    the un-park needs no state restoration: the pending event simply
+    re-enters real execution.
+    """
+
+    #: Scheduler dispatch flag (see :class:`_ParkedSpin`).
+    is_retry = True
+
+    __slots__ = ("line", "block", "key", "exclusive", "xi_type", "engine",
+                 "cpu", "l1_hit", "l2_hit", "ticks", "fabric", "l1_entries",
+                 "l2_entries", "lines", "probe_cache", "ports", "reject_lat")
+
+    def __init__(self, engine: TxEngine, line: int, block: int,
+                 exclusive: bool) -> None:
+        self.engine = engine
+        self.line = line
+        self.block = block
+        self.key = (line, exclusive)
+        self.exclusive = exclusive
+        #: The XI an exclusive-owner conflict sends: exclusive fetches
+        #: invalidate, read-only fetches demote (fabric try_fetch).
+        self.xi_type = XiType.EXCLUSIVE if exclusive else XiType.DEMOTE
+        self.cpu = engine.cpu_id
+        lat = engine.params.latencies
+        self.l1_hit = lat.l1_hit
+        self.l2_hit = lat.l2_hit
+        #: Retry events advanced while parked (observability only).
+        self.ticks = 0
+        # Stable references the per-tick hot path would otherwise chase
+        # through attribute chains on every event (all of these objects
+        # are mutated in place, never replaced).
+        fabric = engine.fabric
+        self.fabric = fabric
+        self.l1_entries = engine._l1_entries
+        self.l2_entries = engine._l2_entries
+        self.lines = fabric._lines
+        self.probe_cache = fabric._probe_cache
+        self.ports = fabric._ports
+        self.reject_lat = fabric._outcome_reject.latency
 
 
 class _Batch:
@@ -239,6 +295,12 @@ class IsaCpu:
         #: default so directly-stepped CPUs keep one-instruction-per-step
         #: semantics.
         self._elide_on = False
+        #: Retry-storm elision flag, armed separately: retry ticks
+        #: consume the schedule-jitter stream exactly as the re-executed
+        #: steps would (one draw per tick, in pop order), so retry
+        #: parking survives ``schedule_perturb`` — only per-step
+        #: observation hooks (``pre_step``) disable it.
+        self._retry_on = False
         #: Largest ``pre_latency`` a fused batch may carry this step.
         #: The scheduler rewrites this before every step with the
         #: distance to the next queued event / remaining cycle budget,
@@ -250,6 +312,22 @@ class IsaCpu:
         self._spin: Optional[_SpinTracker] = None
         #: :class:`_ParkedSpin` record while parked.
         self._spin_rec: Optional[_ParkedSpin] = None
+        #: Retry-chain certification: ``(ia, line, exclusive, owner)`` of
+        #: the last observed eligible FetchRetry raise, or None.
+        self._retry_trk: Optional[tuple] = None
+        #: Armed by a second raise of the tracked chain with the owner
+        #: unchanged: the next ``step()`` for that chain parks instead of
+        #: re-executing.
+        self._retry_armed = False
+        #: Fabric fetch-counter snapshot at entry to a tracked retry
+        #: re-execution (-1 = no snapshot). The raise-time delta
+        #: fingerprints a single-line operation: a probe raise performs
+        #: no fetch, a busy/reject raise exactly one — any leading L1-hit
+        #: fetches (multi-line operations replay them every retry step)
+        #: break the fingerprint and block parking.
+        self._retry_fetch0 = -1
+        #: :class:`_ParkedRetry` record while retry-parked.
+        self._retry_rec: Optional[_ParkedRetry] = None
         #: Address -> pre-decoded record (see :class:`_Decoded`).
         self._decoded: Dict[int, _Decoded] = self._predecode(program)
         #: Bound-method/object aliases for the per-step hot path (the
@@ -455,6 +533,15 @@ class IsaCpu:
             # park instead of executing the certified iteration.
             if self._try_park(sp):
                 raise SpinPark(self._spin_rec)
+        if self._retrying == ia:
+            trk = self._retry_trk
+            if trk is not None and trk[0] == ia:
+                # Re-executing a tracked back-off chain: park before the
+                # step when armed, else snapshot the fetch counter so the
+                # next raise can fingerprint the step.
+                if self._retry_armed and self._retry_try_park(trk):
+                    raise RetryPark(self._retry_rec)
+                self._retry_fetch0 = engine.fabric.stats_fetches
         batch = dec.batch
         if (
             batch is not None
@@ -526,6 +613,8 @@ class IsaCpu:
             # step boundary costs more than returning.
             self._retrying = ia
             self._spin = None
+            if self._retry_on:
+                self._retry_note(ia, retry.info)
             return retry.delay
         except TransactionAbortSignal as signal:
             self._retrying = None
@@ -540,13 +629,29 @@ class IsaCpu:
     # spin-wait elision: certification, parking, wake fast-forward
     # ------------------------------------------------------------------
 
-    def configure_spin_elide(self, hooks_ok: bool) -> None:
+    def configure_spin_elide(self, hooks_ok: bool,
+                             retry_ok: Optional[bool] = None) -> None:
         """Scheduler contract: arm elision for a run without per-step
         hooks (interrupt injection / schedule jitter would observe or
-        perturb the elided steps)."""
+        perturb the elided steps).
+
+        ``retry_ok`` arms retry-storm elision independently (defaults to
+        ``hooks_ok``): schedule jitter disables spin parking and batching
+        — their recorded/pre-summed latencies would skip the per-step
+        draws — but retry ticks re-draw the jitter per elided step in
+        exact pop order, so the scheduler passes ``retry_ok=True`` under
+        ``perturb`` alone.
+        """
         self._elide_on = bool(self.spin_elide and hooks_ok)
+        self._retry_on = bool(
+            self.spin_elide and (hooks_ok if retry_ok is None else retry_ok)
+        )
         if not self._elide_on:
             self._spin = None
+        if not self._retry_on:
+            self._retry_trk = None
+            self._retry_armed = False
+            self._retry_fetch0 = -1
 
     def _spin_sig(self) -> tuple:
         return (tuple(self.regs.gr), self._psw.condition_code)
@@ -720,6 +825,103 @@ class IsaCpu:
         self.regs.gr[:] = gr_values
         psw.condition_code = cc
         psw.instruction_address = rec.ias[j]
+
+    # ------------------------------------------------------------------
+    # retry-storm elision: certification, parking, wake
+    # ------------------------------------------------------------------
+
+    def _retry_note(self, ia: int, info) -> None:
+        """Raise-time certification hook (called from the FetchRetry
+        catch in :meth:`step` whenever elision is armed).
+
+        The first eligible raise records the chain's ``(ia, line,
+        exclusive)`` and the line's current exclusive owner; a later
+        raise of the same chain arms parking iff the owner is unchanged
+        and the step's fetch fingerprint shows a single-line operation.
+        An owner change mid-backoff (the quantity the back-off is
+        waiting out) restarts certification from the new owner.
+        """
+        if info is None:
+            self._retry_trk = None
+            self._retry_armed = False
+            self._retry_fetch0 = -1
+            return
+        line, exclusive = info
+        engine = self.engine
+        fabric = engine.fabric
+        lineinfo = fabric._lines.get(line)
+        owner = lineinfo.ex_owner if lineinfo is not None else -1
+        trk = self._retry_trk
+        fetch0 = self._retry_fetch0
+        self._retry_fetch0 = -1
+        if (
+            trk is not None
+            and fetch0 >= 0
+            and trk[0] == ia and trk[1] == line and trk[2] == exclusive
+            and trk[3] == owner
+        ):
+            # After a probe raise ``_fetch_wait`` holds the key (no fetch
+            # performed this step); after a busy/reject raise it is clear
+            # (try_fetch counted exactly one).
+            expected = 0 if engine._fetch_wait == (line, exclusive) else 1
+            self._retry_armed = (
+                fabric.stats_fetches - fetch0 == expected
+            )
+            return
+        self._retry_trk = (ia, line, exclusive, owner)
+        self._retry_armed = False
+
+    def _retry_try_park(self, trk: tuple) -> bool:
+        """Validate park-time conditions and build the parked record.
+
+        Returns True with the retry watch registered (caller raises
+        :class:`RetryPark`), or False with certification restarted — the
+        pending retry step then executes normally.
+        """
+        self._retry_armed = False
+        engine = self.engine
+        if (
+            not self._retry_on
+            or self._eng_tx.depth
+            or engine.pending_abort is not None
+            or engine.solo_requested
+            or engine.stopped_by_broadcast
+            or engine._page_missing
+            or self._eng_per.ifetch_range is not None
+            or self._eng_per.branch_range is not None
+        ):
+            self._retry_trk = None
+            return False
+        ia, line, exclusive, owner = trk
+        lineinfo = engine.fabric._lines.get(line)
+        if (lineinfo.ex_owner if lineinfo is not None else -1) != owner:
+            # Owner moved between arming and the park point: the chain is
+            # no longer waiting out the certified owner — restart.
+            self._retry_trk = None
+            return False
+        rec = _ParkedRetry(engine, line, line & WATCH_BLOCK_MASK, exclusive)
+        self._retry_rec = rec
+        engine.add_retry_watch(rec.line, rec.block)
+        return True
+
+    def retry_unpark(self) -> None:
+        """Return a retry-parked CPU to real execution.
+
+        The parked ticks applied every engine-visible effect of the
+        elided retry steps as they happened and left ``_fetch_wait`` in
+        the phase the next step expects, so — unlike a spin un-park —
+        there is nothing to materialize: drop the watch and the
+        certification state, and the pending event re-executes the
+        retrying instruction for real.
+        """
+        rec = self._retry_rec
+        if rec is None:
+            return
+        self._retry_rec = None
+        self._retry_trk = None
+        self._retry_armed = False
+        self._retry_fetch0 = -1
+        self.engine.clear_retry_watch()
 
     def _branch_to(self, target: int) -> None:
         engine = self.engine

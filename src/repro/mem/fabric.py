@@ -344,6 +344,13 @@ class CoherenceFabric:
         """Drop a CPU's watch (wake / budget-drain path)."""
         self.watches.remove(cpu)
 
+    def retry_watch_add(self, cpu: int, line: int, block: int) -> None:
+        """Register a parked retry waiter's watch (engine park path)."""
+        self.watches.add_retry(cpu, line, block)
+
+    def retry_watch_remove(self, cpu: int) -> None:
+        self.watches.remove_retry(cpu)
+
     def _wake_line_watchers(self, line: int) -> None:
         """Wake every watcher of any block of ``line``.
 
@@ -476,6 +483,15 @@ class CoherenceFabric:
             else None
         if watched is not None and watched[0] == xi.line:
             self.wake_sink(xi.target)
+        # Same precise wake for a retry-parked target: its parked chain
+        # only models the probe/busy/stiff-arm decision of its *own*
+        # fetch, so an XI delivered to it for the watched line (defense
+        # in depth — a waiter does not own the line it waits for) drops
+        # it back to real execution before the XI's effects land.
+        if self.watches.retry_by_cpu:
+            watched = self.watches.retry_by_cpu.get(xi.target)
+            if watched is not None and watched[0] == xi.line:
+                self.wake_sink(xi.target)
         response, extra = self._ports[xi.target].receive_xi(xi)
         if response is XiResponse.REJECT and not xi.xi_type.rejectable:
             raise ProtocolError(f"{xi.xi_type} XI cannot be rejected")

@@ -59,24 +59,44 @@ WATCH_BLOCK_MASK = ~(WATCH_BLOCK_SIZE - 1)
 
 
 class LineWatchTable:
-    """Registry of parked spinners watching a cache line.
+    """Registry of parked CPUs watching a cache line.
 
-    A CPU whose spin loop has been elided (see
-    :mod:`repro.cpu.interpreter`) registers the line and 128-byte block
-    its load observes; the fabric wakes it on any XI delivered to it for
-    that line, and — as a conservative safety net — on any ownership
-    transition of, or store drain into, the watched block. Each CPU
-    watches at most one block at a time (a spin loop has exactly one
-    load by construction).
+    Two kinds of waiters share the table:
+
+    * **Spinners** — a CPU whose spin loop has been elided (see
+      :mod:`repro.cpu.interpreter`) registers the line and 128-byte block
+      its load observes; the fabric wakes it on any XI delivered to it
+      for that line, and — as a conservative safety net — on any
+      ownership transition of, or store drain into, the watched block.
+    * **Retry waiters** — a CPU whose ``FetchRetry`` back-off chain has
+      been parked (same module) registers the line it is trying to
+      acquire. Unlike a spinner, a retry waiter's parked event chain
+      re-evaluates the fabric state at every tick, so it needs no wake
+      to observe changes; the registration serves the deadlock
+      diagnostic and the precise XI-to-target wake in
+      :meth:`repro.mem.fabric.CoherenceFabric._send_xi` (defense in
+      depth — a retry waiter does not own its watched line, so no XI
+      normally targets it). Ownership-transition wakes are deliberately
+      *not* sent to retry waiters: every exclusive grant of a contended
+      line would wake every waiter into a full re-certification, which
+      is exactly the churn the parking removes.
+
+    Each CPU watches at most one block at a time in each role (a spin
+    loop has exactly one load by construction; a retry chain re-executes
+    exactly one instruction).
     """
 
-    __slots__ = ("by_cpu", "by_block")
+    __slots__ = ("by_cpu", "by_block", "retry_by_cpu", "retry_by_block")
 
     def __init__(self) -> None:
-        #: cpu id -> (line, block) it is parked on.
+        #: cpu id -> (line, block) it is spin-parked on.
         self.by_cpu: dict = {}
-        #: block -> set of cpu ids parked on it.
+        #: block -> set of cpu ids spin-parked on it.
         self.by_block: dict = {}
+        #: cpu id -> (line, block) it is retry-parked on.
+        self.retry_by_cpu: dict = {}
+        #: block -> set of cpu ids retry-parked on it.
+        self.retry_by_block: dict = {}
 
     def add(self, cpu: int, line: int, block: int) -> None:
         self.by_cpu[cpu] = (line, block)
@@ -91,3 +111,17 @@ class LineWatchTable:
             cpus.discard(cpu)
             if not cpus:
                 del self.by_block[watched[1]]
+
+    def add_retry(self, cpu: int, line: int, block: int) -> None:
+        self.retry_by_cpu[cpu] = (line, block)
+        self.retry_by_block.setdefault(block, set()).add(cpu)
+
+    def remove_retry(self, cpu: int) -> None:
+        watched = self.retry_by_cpu.pop(cpu, None)
+        if watched is None:
+            return
+        cpus = self.retry_by_block.get(watched[1])
+        if cpus is not None:
+            cpus.discard(cpu)
+            if not cpus:
+                del self.retry_by_block[watched[1]]

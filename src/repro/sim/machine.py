@@ -145,7 +145,10 @@ class Machine:
         if not self.drivers:
             raise ConfigurationError("no CPUs attached to the machine")
         check = (
-            os.environ.get("REPRO_SPIN_CHECK") == "1"
+            (
+                os.environ.get("REPRO_SPIN_CHECK") == "1"
+                or os.environ.get("REPRO_RETRY_CHECK") == "1"
+            )
             and self.spin_elide is not False
             and all(p is not None for p in self._programs)
         )
@@ -181,10 +184,17 @@ class Machine:
             sched={
                 "parks": sched.stats_parks,
                 "wakes": sched.stats_wakes,
+                "retry_parks": sched.stats_retry_parks,
+                "retry_wakes": sched.stats_retry_wakes,
+                "retry_ticks": sched.stats_retry_ticks,
+                "spin_steps": sched.stats_spin_steps,
+                "events": sched.stats_events,
                 "heap_elides": sched.stats_heap_elides,
                 "heap_elided_steps": sched.stats_heap_elided_steps,
                 "pushpop_fusions": sched.stats_pushpop_fusions,
                 "broadcast_stops": sched.stats_broadcast_stops,
+                "calendar_resizes": sched.stats_calendar_resizes,
+                "bucket_max_occupancy": sched.stats_bucket_max_occupancy,
             },
         )
         if check:
@@ -198,12 +208,14 @@ class Machine:
         ref_pages,
         max_cycles: Optional[int],
     ) -> None:
-        """``REPRO_SPIN_CHECK=1``: replay the run with spin-wait elision
-        forced off and assert the architected outcome is bit-identical —
-        cycles, per-CPU statistics, intervals and final memory contents.
+        """``REPRO_SPIN_CHECK=1`` / ``REPRO_RETRY_CHECK=1``: replay the
+        run with spin-wait and retry-storm elision forced off and assert
+        the architected outcome is bit-identical — cycles, per-CPU
+        statistics, intervals and final memory contents.
 
-        The reference machine is built with ``spin_elide=False``, which
-        also keeps it from recursing into another check.
+        The reference machine is built with ``spin_elide=False`` (the
+        master switch for both parking mechanisms), which also keeps it
+        from recursing into another check.
         """
         ref = Machine(
             self.params,

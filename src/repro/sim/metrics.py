@@ -388,8 +388,14 @@ def _empty_hist_dict() -> Dict[str, Any]:
 
 
 #: Scheduler self-observability counters surfaced in ``totals["scheduler"]``.
-_SCHED_KEYS = ("parks", "wakes", "heap_elides", "heap_elided_steps",
-               "pushpop_fusions", "broadcast_stops")
+_SCHED_KEYS = ("parks", "wakes", "retry_parks", "retry_wakes",
+               "retry_ticks", "spin_steps", "events",
+               "heap_elides", "heap_elided_steps",
+               "pushpop_fusions", "broadcast_stops",
+               "calendar_resizes", "bucket_max_occupancy")
+
+#: Scheduler keys that are high-water marks (merged by max, not sum).
+_SCHED_MAX_KEYS = frozenset(("bucket_max_occupancy",))
 
 
 def _scheduler_stats(scheduler) -> Dict[str, int]:
@@ -470,7 +476,11 @@ def merge_summaries(summaries: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
         sched_a = a.get("scheduler") or {key: 0 for key in _SCHED_KEYS}
         sched_b = b.get("scheduler") or {}
         a["scheduler"] = {
-            key: sched_a.get(key, 0) + sched_b.get(key, 0)
+            key: (
+                max(sched_a.get(key, 0), sched_b.get(key, 0))
+                if key in _SCHED_MAX_KEYS
+                else sched_a.get(key, 0) + sched_b.get(key, 0)
+            )
             for key in _SCHED_KEYS
         }
         a["broadcast_stops"] = (

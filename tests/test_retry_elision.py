@@ -1,0 +1,342 @@
+"""Tests for retry-storm elision and the calendar event queue.
+
+Retry parking extends the PR 5 spin-elision contract one level down:
+a certified ``FetchRetry`` back-off chain is advanced by scheduler
+ticks instead of re-executed instructions, and the bucketed calendar
+queue replaces the binary heap underneath — both under the same strict
+bit-identity contract. The tests pin that contract from several angles:
+
+* PPA back-off delay identity at the interesting abort counts (0, 1,
+  the exponent knee at 6, the clamp at 7, and far past it at 100), and
+  end-to-end reject/abort identity on a constrained-TX point;
+* certification: the chain never arms (and never parks) when the
+  watched line's exclusive owner changes mid-backoff;
+* the parked-deadlock diagnostic names a retry waiter's watched block;
+* pinned bit-identity on coarse/fine/rwlock 48-CPU points, serial and
+  through the parallel runner, in all four mode combinations
+  (``REPRO_SPIN_ELIDE`` x ``REPRO_HEAP_SCHED``);
+* a randomized heap-vs-calendar differential on the queue itself,
+  resize path included;
+* ``REPRO_RETRY_CHECK=1`` differential replay, with and without
+  schedule jitter (retry parking stays armed under jitter).
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from types import SimpleNamespace
+
+import pytest
+
+from repro.bench.figures import UpdateExperiment, run_update_experiment
+from repro.bench.parallel import run_tasks
+from repro.core.ppa import PpaAssist
+from repro.cpu.assembler import assemble
+from repro.cpu.isa import HALT
+from repro.errors import MachineStateError
+from repro.mem.xi import WATCH_BLOCK_MASK
+from repro.params import ZEC12
+from repro.sim.machine import Machine
+from repro.sim.scheduler import CalendarEventQueue, Scheduler
+from repro.verify.jitter import ScheduleJitter
+from repro.workloads.pool import PoolLayout, build_update_program
+
+#: (cycles, instructions, tx_aborted, xi_rejects) pinned from the
+#: reference implementation — 48-CPU points over all three lock schemes
+#: (fine-grained locking is single-variable by design).
+PINNED_48CPU = [
+    (UpdateExperiment("coarse", 48, 1000, 4, iterations=3),
+     (280111, 186668, 0, 0)),
+    (UpdateExperiment("fine", 48, 1000, 1, iterations=3),
+     (3412, 2256, 0, 0)),
+    (UpdateExperiment("rwlock", 48, 1000, 4, iterations=3),
+     (51045, 3984, 0, 0)),
+]
+
+IDS = [f"{e.scheme}-{e.n_cpus}" for e, _ in PINNED_48CPU]
+
+#: The four scheduler mode combinations every pinned point must agree
+#: across: spin/retry elision on/off x calendar/heap event queue.
+MODES = [("1", "0"), ("1", "1"), ("0", "0"), ("0", "1")]
+MODE_IDS = ["elide-cal", "elide-heap", "plain-cal", "plain-heap"]
+
+
+def _summary(result):
+    return (
+        result.cycles,
+        sum(c.instructions for c in result.cpus),
+        sum(c.tx_aborted for c in result.cpus),
+        sum(c.xi_rejects for c in result.cpus),
+    )
+
+
+class TestPpaBackoffIdentity:
+    @pytest.mark.parametrize("count", [0, 1, 6, 7, 100])
+    def test_delay_deterministic_per_seed(self, count):
+        # The PPA delay stream must depend only on the seed and the
+        # sequence of positive counts — never on scheduler mode — so two
+        # assists with the same seed agree draw for draw.
+        a = PpaAssist(ZEC12.latencies, random.Random(99))
+        b = PpaAssist(ZEC12.latencies, random.Random(99))
+        for _ in range(5):
+            assert a.delay_cycles(count) == b.delay_cycles(count)
+
+    @pytest.mark.parametrize("count", [0, 1, 6, 7, 100])
+    def test_delay_bounds(self, count):
+        unit = ZEC12.latencies.on_chip_intervention
+        ppa = PpaAssist(ZEC12.latencies, random.Random(7))
+        for _ in range(20):
+            delay = ppa.delay_cycles(count)
+            if count == 0:
+                assert delay == 0
+            else:
+                exponent = min(count, PpaAssist.MAX_EXPONENT)
+                assert unit <= delay <= unit * (1 << exponent)
+
+    def test_clamped_counts_share_the_distribution(self):
+        # Counts 7 and 100 both clamp to MAX_EXPONENT=6: same seed, same
+        # draws — the back-off ceiling is retry-count independent.
+        a = PpaAssist(ZEC12.latencies, random.Random(3))
+        b = PpaAssist(ZEC12.latencies, random.Random(3))
+        assert [a.delay_cycles(7) for _ in range(10)] == [
+            b.delay_cycles(100) for _ in range(10)
+        ]
+
+    def test_constrained_point_reject_identity(self, monkeypatch):
+        # End to end: a contended constrained-TX point's per-CPU reject
+        # and abort counters (fed by the PPA back-off chains) must be
+        # identical with retry parking on and off.
+        experiment = UpdateExperiment("tbeginc", 24, 10, 4, iterations=15)
+        monkeypatch.setenv("REPRO_SPIN_ELIDE", "1")
+        elided = run_update_experiment(experiment)
+        monkeypatch.setenv("REPRO_SPIN_ELIDE", "0")
+        plain = run_update_experiment(experiment)
+        assert [
+            (c.xi_rejects, c.tx_aborted, c.instructions)
+            for c in elided.cpus
+        ] == [
+            (c.xi_rejects, c.tx_aborted, c.instructions)
+            for c in plain.cpus
+        ]
+        assert elided.cycles == plain.cycles
+
+
+class TestRetryCertification:
+    def _cpu_with_owned_line(self, owner):
+        # spin_elide=True (not the env default) so the white-box checks
+        # below behave the same under a REPRO_SPIN_ELIDE=0 CI leg.
+        machine = Machine(ZEC12.with_cpus(4), spin_elide=True)
+        cpu = machine.add_program(assemble([HALT()]))
+        cpu.configure_spin_elide(True)
+        line = 0x8000
+        cpu.engine.fabric._lines[line] = SimpleNamespace(ex_owner=owner)
+        return cpu, line
+
+    def _note_try_raise(self, cpu, ia, line):
+        """Mimic step()'s bookkeeping around a busy/reject FetchRetry
+        raise: snapshot the fetch counter at entry, count the one fetch
+        the try step performs, then run the raise-time hook."""
+        fabric = cpu.engine.fabric
+        cpu._retry_fetch0 = fabric.stats_fetches
+        fabric.stats_fetches += 1
+        cpu.engine._fetch_wait = None
+        cpu._retry_note(ia, (line, True))
+
+    def test_owner_change_between_raises_restarts(self):
+        cpu, line = self._cpu_with_owned_line(owner=1)
+        self._note_try_raise(cpu, 0x100, line)
+        assert cpu._retry_trk == (0x100, line, True, 1)
+        assert not cpu._retry_armed
+        # The owner moves mid-backoff — the quantity the chain is
+        # waiting out changed, so certification restarts from owner 2
+        # instead of arming.
+        cpu.engine.fabric._lines[line].ex_owner = 2
+        self._note_try_raise(cpu, 0x100, line)
+        assert not cpu._retry_armed
+        assert cpu._retry_trk == (0x100, line, True, 2)
+
+    def test_owner_change_before_park_point_blocks(self):
+        cpu, line = self._cpu_with_owned_line(owner=1)
+        self._note_try_raise(cpu, 0x100, line)
+        self._note_try_raise(cpu, 0x100, line)
+        assert cpu._retry_armed
+        # Armed, but the owner moves before the park point: the re-check
+        # must refuse to park and drop the certificate.
+        cpu.engine.fabric._lines[line].ex_owner = 3
+        assert not cpu._retry_try_park(cpu._retry_trk)
+        assert cpu._retry_trk is None
+        assert cpu.engine.fabric.watches.retry_by_cpu == {}
+
+    def test_stable_owner_parks_and_registers_watch(self):
+        cpu, line = self._cpu_with_owned_line(owner=1)
+        self._note_try_raise(cpu, 0x100, line)
+        self._note_try_raise(cpu, 0x100, line)
+        assert cpu._retry_armed
+        assert cpu._retry_try_park(cpu._retry_trk)
+        assert cpu.engine.fabric.watches.retry_by_cpu[0] == (
+            line, line & WATCH_BLOCK_MASK
+        )
+        cpu.retry_unpark()
+        assert cpu.engine.fabric.watches.retry_by_cpu == {}
+
+    def test_multi_line_fingerprint_blocks_arming(self):
+        # Two fetches between entry and raise (a multi-line operation
+        # replaying an L1 hit every retry): the fingerprint must not arm.
+        cpu, line = self._cpu_with_owned_line(owner=1)
+        self._note_try_raise(cpu, 0x100, line)
+        fabric = cpu.engine.fabric
+        cpu._retry_fetch0 = fabric.stats_fetches
+        fabric.stats_fetches += 2
+        cpu.engine._fetch_wait = None
+        cpu._retry_note(0x100, (line, True))
+        assert not cpu._retry_armed
+
+
+class TestDeadlockDiagnostic:
+    def test_diagnostic_names_retry_watched_block(self):
+        machine = Machine(ZEC12.with_cpus(4))
+        cpu = machine.add_program(assemble([HALT()]))
+        line = 0x8000
+        cpu.engine.add_retry_watch(line, line & WATCH_BLOCK_MASK)
+        scheduler = Scheduler(machine.drivers)
+        scheduler._parked[0] = None  # the guard only reads the indices
+        with pytest.raises(MachineStateError) as exc:
+            scheduler._raise_parked_deadlock()
+        message = str(exc.value)
+        assert "cpu 0 retry-parked on block 0x8000" in message
+        assert "line 0x8000" in message
+
+
+class TestPinnedBitIdentity:
+    @pytest.mark.parametrize("experiment,pinned", PINNED_48CPU, ids=IDS)
+    @pytest.mark.parametrize("elide,heap", MODES, ids=MODE_IDS)
+    def test_serial(self, experiment, pinned, elide, heap, monkeypatch):
+        monkeypatch.setenv("REPRO_SPIN_ELIDE", elide)
+        monkeypatch.setenv("REPRO_HEAP_SCHED", heap)
+        result = run_update_experiment(experiment)
+        assert _summary(result) == pinned
+        if elide == "0":
+            assert result.sched["retry_parks"] == 0
+        if heap == "1":
+            assert result.sched["bucket_max_occupancy"] == 0
+
+    @pytest.mark.parametrize("elide,heap", MODES, ids=MODE_IDS)
+    def test_parallel(self, elide, heap, monkeypatch):
+        # Workers fork after the env change, so they inherit it.
+        monkeypatch.setenv("REPRO_SPIN_ELIDE", elide)
+        monkeypatch.setenv("REPRO_HEAP_SCHED", heap)
+        results = run_tasks(
+            [("update", experiment) for experiment, _ in PINNED_48CPU],
+            workers=2,
+        )
+        assert [_summary(r) for r in results] == [
+            pinned for _, pinned in PINNED_48CPU
+        ]
+
+    def test_retry_parking_engages_on_coarse_point(self, monkeypatch):
+        # Guards the identity matrix against vacuity: the contended CSG
+        # point must actually park retry waiters (and tick them).
+        monkeypatch.setenv("REPRO_SPIN_ELIDE", "1")
+        monkeypatch.delenv("REPRO_HEAP_SCHED", raising=False)
+        result = run_update_experiment(PINNED_48CPU[0][0])
+        sched = result.sched
+        assert sched["retry_parks"] > 0
+        assert sched["retry_wakes"] == sched["retry_parks"]
+        assert sched["retry_ticks"] > 0
+        assert sched["events"] > 0
+
+
+class TestCalendarQueue:
+    def test_randomized_heap_differential(self):
+        # Tiny bucket array (4 buckets of 4 cycles) so resizes, cursor
+        # rewinds, and whole-year-empty jumps all trigger; the calendar
+        # must reproduce the heap's (time, seq) pop order exactly.
+        rng = random.Random(20260808)
+        for trial in range(25):
+            cal = CalendarEventQueue(shift=2, nbuckets=4)
+            heap = []
+            seq = 0
+            now = 0
+            for _ in range(600):
+                if heap and rng.random() < 0.45:
+                    expected = heapq.heappop(heap)
+                    assert cal.pop() == expected
+                    now = expected[0]
+                else:
+                    # Mostly near-future pushes with occasional far
+                    # jumps (the distribution the bucket sizing targets)
+                    # and same-time pushes to exercise FIFO-by-seq.
+                    dt = rng.choice((0, 0, 1, 2, 3, 5, 17, 130, 341,
+                                     4096, 70000))
+                    seq += 1
+                    item = (now + dt, seq, seq % 48)
+                    cal.push(item)
+                    heapq.heappush(heap, item)
+                assert cal.n == len(heap)
+            while heap:
+                assert cal.pop() == heapq.heappop(heap)
+            assert cal.resizes > 0
+            assert cal.max_occupancy > 0
+
+    def test_pushpop_matches_heap(self):
+        rng = random.Random(42)
+        cal = CalendarEventQueue(shift=2, nbuckets=4)
+        heap = []
+        seq = 0
+        now = 0
+        for _ in range(50):
+            seq += 1
+            cal.push((now + rng.randrange(64), seq, 0))
+        # Mirror the calendar's contents into the reference heap.
+        heap = sorted(item for b in cal.buckets for item in b)
+        heapq.heapify(heap)
+        for _ in range(300):
+            seq += 1
+            item = (now + rng.randrange(64), seq, 0)
+            expected = heapq.heappushpop(heap, item)
+            got = cal.pushpop(item)
+            assert got == expected
+            now = expected[0]
+
+    def test_peek_time_and_empty(self):
+        cal = CalendarEventQueue(shift=2, nbuckets=4)
+        assert cal.peek_time() is None
+        cal.push((100, 1, 0))
+        cal.push((3, 2, 0))
+        assert cal.peek_time() == 3
+        assert cal.pop() == (3, 2, 0)
+        assert cal.pop() == (100, 1, 0)
+        assert cal.peek_time() is None
+
+    def test_nbuckets_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            CalendarEventQueue(shift=2, nbuckets=3)
+
+
+class TestRetryCheck:
+    def test_differential_run_passes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RETRY_CHECK", "1")
+        monkeypatch.setenv("REPRO_SPIN_ELIDE", "1")
+        experiment = UpdateExperiment("coarse", 12, 1000, 4, iterations=5)
+        result = run_update_experiment(experiment)
+        assert result.sched["retry_parks"] > 0
+
+    def test_differential_under_jitter(self, monkeypatch):
+        # Retry parking stays armed under schedule jitter (the ticks
+        # draw the per-step perturbation in exact pop order); the
+        # differential against the jittered non-elided reference must
+        # come back bit-identical, with parking demonstrably engaged.
+        monkeypatch.setenv("REPRO_RETRY_CHECK", "1")
+        monkeypatch.setenv("REPRO_SPIN_ELIDE", "1")
+        for seed in (0, 7):
+            machine = Machine(ZEC12.with_cpus(12))
+            program = build_update_program(
+                "coarse", PoolLayout(1000), n_vars=4, iterations=5
+            )
+            for _ in range(12):
+                machine.add_program(program)
+            machine.schedule_perturb = ScheduleJitter(seed, 9)
+            result = machine.run()
+            assert result.sched["retry_parks"] > 0
+            assert result.sched["parks"] == 0  # spin parking stays off
