@@ -1,0 +1,90 @@
+"""Capacity-vs-abort-rate curves, one per footprint policy.
+
+Sweeps read-only transactions of n random cache lines under every
+selected :mod:`repro.core.footprint` policy and reports the Monte-Carlo
+abort rate plus the abort-cause attribution at each size — the
+policy-generic generalisation of the Figure 5(f) LRU-extension study.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/capacity_curves.py \
+        [--policies zec12,no-lru-extension,power-spill,bounded] \
+        [--trials 100] [--lines 16,32,64,...] [--seed 1] [--json FILE]
+
+Every policy sees the identical address sequence at each point, so the
+columns are directly comparable. ``--json`` writes the full payload
+(schema ``repro.capacity_curves/1``) including per-point abort causes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.bench.capacity import (
+    DEFAULT_LINE_COUNTS,
+    DEFAULT_POLICIES,
+    capacity_curves,
+    curves_to_payload,
+    format_curves,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Capacity-vs-abort-rate curves per footprint policy"
+    )
+    parser.add_argument(
+        "--policies",
+        default=",".join(DEFAULT_POLICIES),
+        help="comma-separated policy specs (args allowed, e.g. "
+             "power-spill:128 or bounded:32,8)",
+    )
+    parser.add_argument("--trials", type=int, default=100,
+                        help="Monte-Carlo trials per point")
+    parser.add_argument(
+        "--lines",
+        default=",".join(str(n) for n in DEFAULT_LINE_COUNTS),
+        help="comma-separated transaction sizes (accessed cache lines)",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--json", metavar="FILE", default=None,
+                        help="also write the full payload as JSON")
+    args = parser.parse_args(argv)
+
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    line_counts = [int(n) for n in args.lines.split(",") if n.strip()]
+
+    started = time.time()
+    curves = capacity_curves(policies, line_counts, trials=args.trials,
+                             seed=args.seed)
+    elapsed = time.time() - started
+
+    print(format_curves(curves))
+    print()
+    for policy, points in curves.items():
+        causes = {}
+        for point in points:
+            for cause, count in point.abort_causes.items():
+                causes[cause] = causes.get(cause, 0) + count
+        summary = ", ".join(
+            f"{cause}={count}" for cause, count in sorted(causes.items())
+        ) or "no aborts"
+        print(f"{policy}: {summary}")
+    print(f"\n{len(policies)} policies x {len(line_counts)} sizes x "
+          f"{args.trials} trials in {elapsed:.1f}s")
+
+    if args.json:
+        payload = curves_to_payload(curves, trials=args.trials,
+                                    seed=args.seed)
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"payload written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,11 +33,20 @@ class FootprintPoint:
     abort_rate: float
 
 
-def _single_cpu_params(base: MachineParams, lru_extension: bool) -> MachineParams:
+def _single_cpu_params(
+    base: MachineParams,
+    lru_extension: bool,
+    footprint_policy: str = "",
+) -> MachineParams:
+    if not footprint_policy:
+        # Pin the policy explicitly so the Figure 5(f) ablation measures
+        # what it names even when REPRO_FOOTPRINT_POLICY is set.
+        footprint_policy = "zec12" if lru_extension else "no-lru-extension"
     return dataclasses.replace(
         base,
         topology=Topology(cores_per_chip=1, chips_per_mcm=1, mcms=1),
         lru_extension=lru_extension,
+        footprint_policy=footprint_policy,
         speculation=False,  # the experiment counts *architected* accesses
     )
 
@@ -48,10 +57,16 @@ def footprint_abort_rate(
     trials: int = 100,
     params: MachineParams = ZEC12,
     seed: int = 1,
+    footprint_policy: str = "",
 ) -> float:
     """Monte-Carlo abort rate of a read-only transaction touching
-    ``accessed_lines`` random congruence classes."""
-    machine_params = _single_cpu_params(params, lru_extension)
+    ``accessed_lines`` random congruence classes.
+
+    ``footprint_policy`` overrides the policy spec; when empty it is
+    derived from ``lru_extension`` (the historical Figure 5(f) pair).
+    """
+    machine_params = _single_cpu_params(params, lru_extension,
+                                        footprint_policy)
     memory = MainMemory()
     fabric = CoherenceFabric(machine_params)
     # Standalone engine use: provide a local clock that the load loop

@@ -36,6 +36,7 @@ import sys
 from dataclasses import asdict, dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..core.footprint import resolve_policy_spec
 from ..params import MachineParams, ZEC12
 from ..sim.results import CpuResult, SimResult
 from ..workloads.hashtable import HashtableExperiment, run_hashtable_experiment
@@ -106,12 +107,13 @@ def result_from_payload(payload: Dict[str, Any]) -> Any:
 #: Version tag for the simulator's data-plane representation (paged
 #: bytearray memory, line-indexed store forwarding, run-based drains;
 #: v4: retry-storm elision + calendar-queue scheduler — new
-#: ``SimResult.sched`` counter block).
+#: ``SimResult.sched`` counter block; v5: pluggable footprint policies —
+#: keys carry the *resolved* policy spec).
 #: Bumped whenever the stored-result format or the memory/store-cache
 #: semantics change in a way the source hash alone should not be trusted
 #: to catch (e.g. a rename-only refactor that keeps byte-identical
 #: sources elsewhere, or an external cache shared across checkouts).
-DATA_PLANE_VERSION = 4
+DATA_PLANE_VERSION = 5
 
 _CODE_VERSION: Optional[str] = None
 
@@ -146,12 +148,18 @@ def task_key(kind: str, experiment: Any, params: MachineParams,
     The key also covers the interpreter version (``major.minor``) and
     whether metrics collection was on, so an entry written under py3.9
     or with metrics off is never served for a py3.12/metrics-on run.
+    The *resolved* footprint-policy spec is keyed explicitly: with the
+    params field at its empty default the policy comes from
+    ``$REPRO_FOOTPRINT_POLICY``, which ``asdict(params)`` cannot see —
+    without this, a cache written under one policy would be served to
+    runs under another.
     """
     blob = json.dumps(
         {
             "kind": kind,
             "experiment": asdict(experiment),
             "params": asdict(params),
+            "footprint_policy": resolve_policy_spec(params),
             "code": code_version(),
             "data_plane": DATA_PLANE_VERSION,
             "python": f"{sys.version_info[0]}.{sys.version_info[1]}",

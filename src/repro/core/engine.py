@@ -51,6 +51,7 @@ from ..mem.storequeue import StoreQueue
 from ..mem.xi import Xi, XiResponse, XiType
 from ..params import MachineParams
 from .abort import AbortCode, TABORT_CODE_BASE, TransactionAbort
+from .footprint import make_policy
 from .diagnostic import TransactionDiagnosticControl
 from .filtering import InterruptionCode, ProgramInterruption, is_filtered
 from .millicode import Millicode, RetryPlan
@@ -163,7 +164,10 @@ class MetricsSink:
         """An XI was rejected; ``rejects`` is the hang counter after it."""
 
     def note_fetch(self, line: int, exclusive: bool, source: str) -> None:
-        """A line fetch completed (``source`` is l1/l2/l3/l4/memory/...)."""
+        """A line fetch completed. ``source`` names the data's origin:
+        a cache tier (l1/l2/l3/l4/remote/memory), an RO-ownership
+        upgrade ("upgrade"), or a core-to-core intervention by distance
+        ("intervention"/"intervention-mcm"/"intervention-remote")."""
 
 
 class _MetricsFanout(MetricsSink):
@@ -245,7 +249,12 @@ class TxEngine(CpuPort):
         #: plus one C-level slice instead of a per-byte loop.
         self._mem_pages = memory._pages
 
-        self.l1 = L1Cache(params.l1, lru_extension_enabled=params.lru_extension)
+        #: The transactional-footprint capacity policy (resolved from
+        #: ``params.footprint_policy`` / ``$REPRO_FOOTPRINT_POLICY``;
+        #: see :mod:`repro.core.footprint`). The L1 shares the instance
+        #: and funnels its per-transaction resets through it.
+        self.footprint = make_policy(params)
+        self.l1 = L1Cache(params.l1, footprint=self.footprint)
         self.l2 = L2Cache(params.l2)
         #: Aliases into the L1 directory for the fetch fast path (the
         #: directory and its entry index are never rebound).
@@ -254,13 +263,23 @@ class TxEngine(CpuPort):
         self._l2_entries = self.l2.directory._entries
         self.stq = StoreQueue()
         self.store_cache = GatheringStoreCache(
-            entries=params.tx.store_cache_entries,
+            entries=self.footprint.store_cache_entries(params.tx),
         )
         # Both containers are mutated strictly in place, so the load fast
         # path's pending-store checks can alias them.
         self._stq_entries = self.stq._entries
         self._sc_by_block = self.store_cache._by_block
         self.tx = TransactionState(max_nesting_depth=params.tx.max_nesting_depth)
+        self.footprint.bind(self)
+        #: Hoisted policy hooks. ``_fp_read_check``/``_fp_write_check``
+        #: are None unless the policy bounds the footprint by
+        #: cardinality, so the default hot paths pay one None-check per
+        #: access; ``_fp_imprecise`` is the policy's imprecise XI-hit
+        #: check (the LRU-extension row probe under zEC12).
+        fp = self.footprint
+        self._fp_read_check = fp.check_read_capacity if fp.tracks_reads else None
+        self._fp_write_check = fp.note_write_lines if fp.tracks_writes else None
+        self._fp_imprecise = fp.imprecise_read_hit
         self.tdc = TransactionDiagnosticControl(self.rng)
         self.ppa = PpaAssist(params.latencies, self.rng)
         self.millicode = Millicode(self.ppa, self.rng)
@@ -471,7 +490,7 @@ class TxEngine(CpuPort):
                 len(read_set),
                 len(write_set),
                 len(self.store_cache),
-                self.l1.extension_rows(),
+                self.footprint.tracking_rows(),
             )
             m.note_commit_sets(ia, self.tx.tbegin_address,
                                self.tx.constrained, read_set, write_set)
@@ -637,6 +656,12 @@ class TxEngine(CpuPort):
                         > self.params.tx.constrained_max_octowords
                     ):
                         self.constraint_violation()
+                    fpc = self._fp_read_check
+                    if fpc is not None:
+                        code = fpc()
+                        if code is not None:
+                            self._abort_now(code, conflict_token=first)
+                            raise TransactionAbortSignal(self.pending_abort)
             else:
                 latency, source = self._fetch(first, exclusive=exclusive)
                 if self.tx.depth:
@@ -860,6 +885,12 @@ class TxEngine(CpuPort):
             self.l1.mark_tx_read(line)
             self.tx.read_set.add(line)
         self._note_octowords(addr, length)
+        fpc = self._fp_read_check
+        if fpc is not None:
+            code = fpc()
+            if code is not None:
+                self._abort_now(code, conflict_token=lines[-1])
+                self.raise_if_pending()
 
     def _note_write_lines(self, lines, addr: int, length: int) -> None:
         if not self.tx.active:
@@ -867,6 +898,12 @@ class TxEngine(CpuPort):
         for line in lines:
             self.l1.mark_tx_dirty(line)
         self._note_octowords(addr, length)
+        fpw = self._fp_write_check
+        if fpw is not None:
+            code = fpw(lines)
+            if code is not None:
+                self._abort_now(code, conflict_token=lines[-1])
+                self.raise_if_pending()
 
     def _note_octowords(self, addr: int, length: int) -> None:
         """Constrained footprint accounting: at most 4 aligned octowords."""
@@ -920,6 +957,14 @@ class TxEngine(CpuPort):
             self.stats_prefetches += 1
             self.l1.mark_tx_read(next_line)
             self.tx.read_set.add(next_line)
+            fpc = self._fp_read_check
+            if fpc is not None:
+                # Speculative over-marking counts against a cardinality
+                # bound exactly like an architected access.
+                code = fpc()
+                if code is not None:
+                    self._abort_now(code, conflict_token=next_line)
+                    self.raise_if_pending()
 
     def _read_value(self, addr: int, length: int) -> int:
         """Assemble a load value: STQ forwarding, then store cache, then
@@ -963,7 +1008,7 @@ class TxEngine(CpuPort):
         try:
             self.store_cache.store(addr, data, tx=self.tx.active, ntstg=ntstg)
         except StoreCacheOverflow:
-            self._abort_now(AbortCode.STORE_OVERFLOW)
+            self._abort_now(self.footprint.on_store_overflow())
             self.raise_if_pending()
         drained = self.store_cache.take_drained()
         if drained:
@@ -1076,7 +1121,7 @@ class TxEngine(CpuPort):
                 len(read_set),
                 len(write_set),
                 self.tx.xi_rejects,
-                self.l1.extension_rows(),
+                self.footprint.tracking_rows(),
             )
             m.note_abort_sets(self.pending_abort, self.tx.tbegin_address,
                               self.tx.constrained, read_set, write_set)
@@ -1216,15 +1261,18 @@ class TxEngine(CpuPort):
         )
 
     def _read_set_hit(self, line: int) -> bool:
-        """Precise read set plus the imprecise LRU-extension rows.
+        """Precise read set plus the policy's imprecise tracking.
 
-        "Since no precise address tracking exists for the LRU extensions,
-        any non-rejected XI that hits a valid extension row [makes] the LSU
-        trigger an abort" — including false positives, which we reproduce.
+        Under the zEC12 policy the imprecise part is the LRU-extension
+        row probe: "Since no precise address tracking exists for the LRU
+        extensions, any non-rejected XI that hits a valid extension row
+        [makes] the LSU trigger an abort" — including false positives,
+        which we reproduce. Precise policies (power-spill, bounded)
+        contribute nothing here.
         """
         if not self.tx.active or self.pending_abort is not None:
             return False
-        return line in self.tx.read_set or self.l1.extension_hit(line)
+        return line in self.tx.read_set or self._fp_imprecise(line)
 
     def _stiff_arm(self, xi: Xi, abort_code: AbortCode) -> Tuple[XiResponse, int]:
         """Reject the XI "in the hope of finishing the transaction before
@@ -1266,17 +1314,15 @@ class TxEngine(CpuPort):
     # ------------------------------------------------------------------
 
     def note_l1_eviction(self, entry) -> None:
-        self.l1.note_eviction(entry)
-        if self.l1.footprint_lost:
-            # No LRU extension: the read footprint exceeded the L1.
-            self._abort_now(AbortCode.FETCH_OVERFLOW, conflict_token=entry.line)
+        code = self.l1.note_eviction(entry)
+        if code is not None:
+            # The policy could not absorb the eviction (no LRU extension,
+            # spill buffer full, ...): the read footprint overflowed.
+            self._abort_now(code, conflict_token=entry.line)
 
     def note_l2_eviction(self, line: int) -> None:
         if not self.tx.active or self.pending_abort is not None:
             return
-        if line in self.tx.read_set:
-            self._abort_now(AbortCode.FETCH_OVERFLOW, conflict_token=line)
-        elif line in self.store_cache.tx_lines():
-            # Transactionally dirty lines "have to stay resident in the L2
-            # throughout the transaction".
-            self._abort_now(AbortCode.STORE_OVERFLOW, conflict_token=line)
+        code = self.footprint.on_l2_eviction(line)
+        if code is not None:
+            self._abort_now(code, conflict_token=line)

@@ -52,7 +52,10 @@ class FetchOutcome:
     def __init__(self, done: bool, latency: int, source: str) -> None:
         self.done = done
         self.latency = latency
-        # "l1", "l2", "intervention", "l3", "l4", "remote", "memory", "reject"
+        # Cache tiers: "l1", "l2", "l3", "l4", "remote" (another MCM's
+        # L4), "memory". Core-to-core RO sourcing: "intervention"
+        # (same chip), "intervention-mcm", "intervention-remote".
+        # Non-transfers: "upgrade", "busy", "reject".
         self.source = source
 
     def __repr__(self) -> str:
@@ -324,12 +327,6 @@ class CoherenceFabric:
         self._probe_cache.pop(line, None)
         return FetchOutcome(True, latency, source)
 
-    @staticmethod
-    def _sufficient(state: Ownership, exclusive: bool) -> bool:
-        if exclusive:
-            return state is Ownership.EXCLUSIVE
-        return state.grants_load()
-
     def probe_invalidate(self, line: int) -> None:
         """Drop memoized probe results for ``line`` (state changed)."""
         self._probe_cache.pop(line, None)
@@ -372,6 +369,13 @@ class CoherenceFabric:
         """Wake watchers of every block a store-drain run touches."""
         by_block = self.watches.by_block
         for addr, data in runs:
+            if not data:
+                # A zero-length run touches nothing; without this guard
+                # the last-block computation below underflows: for an
+                # unaligned ``addr`` it lands back in addr's own block
+                # and spuriously wakes its watchers, and for ``addr`` 0
+                # it goes negative outright.
+                continue
             first = addr & WATCH_BLOCK_MASK
             last = (addr + len(data) - 1) & WATCH_BLOCK_MASK
             for block in range(first, last + 1, WATCH_BLOCK_SIZE):
@@ -530,12 +534,9 @@ class CoherenceFabric:
     def _evict_from_private(self, port: CpuPort, line: int) -> None:
         """A line leaves a CPU's L2 (and, by inclusivity, its L1)."""
         self._probe_cache.pop(line, None)
-        l1_entry = port.l1.directory.remove(line)
-        if l1_entry is not None:
-            # The line is leaving the hierarchy entirely, so the
-            # LRU-extension trick cannot save the footprint; the engine's
-            # note_l2_eviction performs the overflow check.
-            pass
+        # The line is leaving the hierarchy entirely; the engine's
+        # note_l2_eviction below performs the footprint-overflow check.
+        port.l1.directory.remove(line)
         info = self.line_info(line)
         info.ro_owners.discard(port.cpu_id)
         if info.ex_owner == port.cpu_id:
@@ -607,18 +608,28 @@ class CoherenceFabric:
 
     def _shared_source_latency(self, cpu: int, line: int) -> int:
         name = self._shared_source_name(cpu, line)
+        # The intervention tiers ride the same interconnect hops as the
+        # shared-cache tiers at the same distance, so the same-MCM and
+        # cross-MCM interventions reuse those latencies — distinct
+        # *labels* (for fetch-source attribution), identical cycles.
         return {
             "l3": self.lat.l3_hit,
             "l4": self.lat.same_mcm,
             "remote": self.lat.cross_mcm,
             "memory": self.lat.memory,
             "intervention": self.lat.on_chip_intervention,
+            "intervention-mcm": self.lat.same_mcm,
+            "intervention-remote": self.lat.cross_mcm,
         }[name]
 
     def _shared_source_name(self, cpu: int, line: int) -> str:
         info = self._lines.get(line)
         if info is not None and info.ro_owners:
-            # Another core holds it read-only; the nearest copy sources it.
+            # Another core holds it read-only; the nearest copy sources
+            # it via core-to-core intervention. Label the source by the
+            # intervention distance — historically the same-MCM and
+            # cross-MCM cases were misreported as "l4"/"remote", making
+            # ``metrics.fetch_sources`` count them as shared-cache hits.
             row = self._rank_rows[cpu]
             nearest = 3
             for o in info.ro_owners:
@@ -629,7 +640,9 @@ class CoherenceFabric:
                         if r == 0:
                             break
             if nearest < 3:
-                return ("intervention", "l4", "remote")[nearest]
+                return (
+                    "intervention", "intervention-mcm", "intervention-remote"
+                )[nearest]
         if self._l3_by_cpu[cpu].touch(line):
             return "l3"
         if self._l4_by_cpu[cpu].touch(line):

@@ -13,6 +13,12 @@ tracking exists for the extension, *any* non-rejected XI that hits a valid
 extension row aborts the transaction. The footprint limit thereby moves
 from the L1 size/associativity (64x6) to the L2's (512x8) — the comparison
 shown in Figure 5(f).
+
+The extension machinery itself lives in a pluggable
+:class:`~repro.core.footprint.FootprintPolicy` (the default
+:class:`~repro.core.footprint.Zec12Policy` reproduces the paper exactly);
+the L1 keeps its historical ``note_eviction`` / ``extension_hit`` /
+``extension_rows`` / ``footprint_lost`` surface and delegates.
 """
 
 from __future__ import annotations
@@ -25,33 +31,50 @@ from .line import DirectoryEntry, Ownership
 
 
 class L1Cache:
-    """Private L1 directory plus the transactional LRU-extension vector."""
+    """Private L1 directory plus the transactional footprint policy."""
 
-    __slots__ = ("directory", "lru_extension_enabled", "_extension",
-                 "_tx_marked", "footprint_lost")
+    __slots__ = ("directory", "footprint", "_tx_marked")
 
     def __init__(
         self,
         geometry: CacheGeometry = L1_GEOMETRY,
         lru_extension_enabled: bool = True,
+        footprint=None,
     ) -> None:
         self.directory = SetAssociativeDirectory(geometry, name="L1")
-        self.lru_extension_enabled = lru_extension_enabled
-        #: Rows with a valid LRU-extension bit (sparse: almost always empty).
-        self._extension: set = set()
+        if footprint is None:
+            # Standalone construction (tests, tools): default to the
+            # paper's policy. Imported lazily — at module-import time
+            # ``repro.core`` pulls in the engine, which imports this
+            # module, so a top-level import would be circular.
+            from ..core.footprint import Zec12Policy
+
+            footprint = Zec12Policy(lru_extension=lru_extension_enabled)
+        #: The capacity policy owning eviction/overflow decisions.
+        self.footprint = footprint
+        footprint.attach_l1(self)
         #: Entries whose tx bits were set since the last reset, so the
         #: TBEGIN/TEND reset touches only those instead of sweeping the
         #: whole directory. Entries evicted in the meantime are harmless
         #: (clearing bits on a dead entry is a no-op).
         self._tx_marked: List[DirectoryEntry] = []
-        #: Set when a tx-read line is evicted while the extension is
-        #: disabled — the footprint can no longer be tracked at all.
-        self.footprint_lost = False
+
+    @property
+    def lru_extension_enabled(self) -> bool:
+        """Back-compat view of the policy's extension switch."""
+        return getattr(self.footprint, "lru_extension", False)
+
+    @property
+    def footprint_lost(self) -> bool:
+        """Set when a tx-read line is evicted while the extension is
+        disabled — the footprint can no longer be tracked at all."""
+        return getattr(self.footprint, "footprint_lost", False)
 
     # -- transactional lifecycle ------------------------------------------
 
     def begin_transaction(self) -> None:
-        """Reset tx bits and the extension vector at the outermost TBEGIN.
+        """Reset tx bits and the footprint tracking at the outermost
+        TBEGIN.
 
         "The tx-read bits are reset when a new outermost TBEGIN is decoded."
         """
@@ -60,8 +83,7 @@ class L1Cache:
                 entry.tx_read = False
                 entry.tx_dirty = False
             self._tx_marked = []
-        self._extension.clear()
-        self.footprint_lost = False
+        self.footprint.begin_transaction()
 
     def end_transaction(self) -> None:
         """Clear tx marks on successful TEND; dirty lines become normal."""
@@ -103,40 +125,40 @@ class L1Cache:
 
     # -- eviction ----------------------------------------------------------
 
-    def note_eviction(self, victim: DirectoryEntry) -> None:
+    def note_eviction(self, victim: DirectoryEntry) -> Optional[int]:
         """Handle the transactional side of an L1 LRU eviction.
 
-        tx-read lines feed the LRU-extension vector (or lose the footprint
-        entirely when the extension is disabled). tx-dirty lines need no
-        action: the store cache tracks the write set precisely and the line
+        tx-read lines are handed to the footprint policy (LRU-extension
+        row, precise spill, cardinality tracker — or a lost footprint
+        when nothing can absorb them). tx-dirty lines need no action:
+        the store cache tracks the write set precisely and the line
         stays resident in the L2 ("No LRU-extension action needs to be
         performed when a tx-dirty cache line is LRU'ed from the L1").
+
+        Returns the policy's abort code, or None when the eviction is
+        absorbed.
         """
         if not victim.tx_read:
-            return
-        if self.lru_extension_enabled:
-            self._extension.add(self.directory.row_of(victim.line))
-        else:
-            self.footprint_lost = True
+            return None
+        return self.footprint.on_l1_eviction(victim)
 
     # -- XI-side conflict checks --------------------------------------------
 
     def extension_hit(self, line: int) -> bool:
-        """True if an XI to ``line`` lands on a valid extension row."""
-        if not self._extension:
-            return False
-        return self.directory.row_of(line) in self._extension
+        """True if an XI to ``line`` hits the policy's imprecise tracking
+        (for the zEC12 policy: a valid LRU-extension row)."""
+        return self.footprint.imprecise_read_hit(line)
 
     def read_set_conflict(self, line: int) -> bool:
         """Would an invalidating XI to ``line`` violate the read set?
 
         Checks the precise tx-read bit first, then the imprecise
-        LRU-extension row.
+        policy tracking (LRU-extension rows under zEC12).
         """
         entry = self.directory.lookup(line)
         if entry is not None and entry.tx_read:
             return True
-        return self.extension_hit(line)
+        return self.footprint.imprecise_read_hit(line)
 
     def write_set_conflict(self, line: int) -> bool:
         """Would an XI to ``line`` hit a transactionally dirty L1 line?"""
@@ -146,8 +168,9 @@ class L1Cache:
     # -- introspection -------------------------------------------------------
 
     def extension_rows(self) -> int:
-        """Number of rows currently marked in the extension vector."""
-        return len(self._extension)
+        """Occupancy of the policy's overflow-tracking structure (the
+        number of marked extension rows under the zEC12 policy)."""
+        return self.footprint.tracking_rows()
 
     def lookup(self, line: int) -> Optional[DirectoryEntry]:
         return self.directory.lookup(line)

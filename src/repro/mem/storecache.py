@@ -173,7 +173,15 @@ class StoreCacheOverflow(Exception):
 
 
 class GatheringStoreCache:
-    """The 64-entry gathering store cache of one CPU."""
+    """The 64-entry gathering store cache of one CPU.
+
+    ``entries`` is the store-side footprint bound. The engine sizes it
+    through its :class:`~repro.core.footprint.FootprintPolicy`
+    (``store_cache_entries``), which defaults to the architected
+    ``TxLimits.store_cache_entries`` = 64; the overflow raised by
+    :meth:`_make_room` is likewise mapped to an abort code by the policy
+    (``on_store_overflow``).
+    """
 
     __slots__ = ("capacity", "drain_threshold", "_queue", "_by_block",
                  "_drained", "stats_gathered", "stats_allocated",

@@ -208,6 +208,13 @@ class MachineParams:
     #: real machine always has it; Figure 5(f) compares against a machine
     #: without it.
     lru_extension: bool = True
+    #: Transactional-footprint capacity policy spec (see
+    #: :mod:`repro.core.footprint`): ``"zec12"``, ``"no-lru-extension"``,
+    #: ``"power-spill[:N]"`` or ``"bounded[:R[,W]]"``. The empty default
+    #: resolves at engine construction to ``$REPRO_FOOTPRINT_POLICY`` or,
+    #: failing that, ``"zec12"``; an explicit non-empty value always wins
+    #: over the environment.
+    footprint_policy: str = ""
     #: Model speculative over-marking of the tx-read set (section III.C).
     speculation: bool = True
     #: Random-seed base for all stochastic machine behaviour.

@@ -21,6 +21,7 @@ import os
 from typing import Callable, List, Optional
 
 from ..core.engine import TxEngine
+from ..core.footprint import resolve_policy_spec
 from ..cpu.assembler import Program
 from ..cpu.interpreter import IsaCpu
 from ..cpu.interrupts import OsModel
@@ -82,6 +83,13 @@ class Machine:
         self._programs: List[Optional[Program]] = []
 
     # ------------------------------------------------------------------
+
+    @property
+    def footprint_policy(self) -> str:
+        """The resolved footprint-policy spec every engine is built with
+        (``params.footprint_policy``, else ``$REPRO_FOOTPRINT_POLICY``,
+        else ``"zec12"``) — see :mod:`repro.core.footprint`."""
+        return resolve_policy_spec(self.params)
 
     def _new_engine(self) -> TxEngine:
         cpu_id = len(self.engines)

@@ -133,13 +133,22 @@ class CpuMetrics(MetricsSink):
         self.stiff_arm_depths: Counter = Counter()
         #: ``"<xi type>:<response>"`` -> count, for every XI answered.
         self.xi_responses: Counter = Counter()
-        #: Fetch source (l1/l2/l3/l4/memory/...) -> count.
+        #: Fetch source -> count. Cache tiers (l1/l2/l3/l4/remote/
+        #: memory), read-only upgrades ("upgrade"), and core-to-core RO
+        #: sourcing by distance ("intervention" on-chip,
+        #: "intervention-mcm" same-MCM, "intervention-remote" cross-MCM
+        #: — previously misattributed to "l4"/"remote").
         self.fetch_sources: Counter = Counter()
         self.read_set_at_commit = _Hist()
         self.write_set_at_commit = _Hist()
         self.read_set_at_abort = _Hist()
         self.write_set_at_abort = _Hist()
         self.store_cache_at_commit = _Hist()
+        # Occupancy of the footprint policy's overflow-tracking
+        # structure at commit/abort: LRU-extension rows under the
+        # default zec12 policy, spilled lines under power-spill, always
+        # 0 for policies with no such structure (see
+        # repro.core.footprint.FootprintPolicy.tracking_rows).
         self.extension_rows_at_commit = _Hist()
         self.extension_rows_at_abort = _Hist()
 

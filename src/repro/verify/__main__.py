@@ -32,6 +32,12 @@ def main(argv=None) -> int:
                         help="archive failures unshrunk (faster triage)")
     parser.add_argument("--max-failures", type=int, default=5,
                         help="stop after this many distinct failures")
+    parser.add_argument("--footprint-policy", default=None,
+                        help="pin every generated case to this footprint-"
+                             "policy spec (e.g. zec12, no-lru-extension, "
+                             "power-spill:128, bounded:64,16); default "
+                             "leaves cases unpinned so the engine resolves "
+                             "the policy (incl. $REPRO_FOOTPRINT_POLICY)")
     parser.add_argument("--replay", metavar="DIR", default=None,
                         help="re-check every corpus case in DIR instead "
                              "of fuzzing")
@@ -74,6 +80,7 @@ def main(argv=None) -> int:
         shrink=not args.no_shrink,
         max_failures=args.max_failures,
         on_progress=progress,
+        footprint_policy=args.footprint_policy,
     )
     status = "FAILED" if report.failures else "passed"
     print(

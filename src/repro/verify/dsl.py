@@ -218,6 +218,10 @@ def validate_case(case: Dict[str, Any]) -> None:
         raise ConfigurationError("one program per CPU required")
     if case["jitter"] < 0 or case["max_cycles"] <= 0:
         raise ConfigurationError("jitter/max_cycles must be non-negative")
+    # Optional pin (absent on unpinned cases); spec strings are parsed —
+    # and fully validated — by repro.core.footprint.make_policy.
+    if not isinstance(case.get("footprint_policy", ""), str):
+        raise ConfigurationError("footprint_policy must be a spec string")
     seen_ids: Set[int] = set()
     for program in case["programs"]:
         for event in program:

@@ -64,12 +64,19 @@ def fuzz(
     shrink: bool = True,
     max_failures: int = 5,
     on_progress: Optional[Callable[[int, Optional[Failure]], None]] = None,
+    footprint_policy: Optional[str] = None,
 ) -> FuzzReport:
     """Run the fuzzer for ``n_cases`` cases and/or ``seconds`` seconds.
 
     At least one bound must be given. Stops early after ``max_failures``
     distinct failing cases (each shrink costs many simulations; a broken
     engine would otherwise eat the whole budget on one root cause).
+
+    A non-None ``footprint_policy`` is stamped into every generated case
+    before it runs, so the oracles check that policy and any archived
+    failure replays under it regardless of the replaying machine's
+    environment. ``None`` leaves cases unpinned (engine-side resolution,
+    including ``$REPRO_FOOTPRINT_POLICY``, applies).
     """
     if n_cases is None and seconds is None:
         raise ValueError("pass n_cases and/or seconds")
@@ -86,6 +93,10 @@ def fuzz(
             break
         this_seed = case_seed(seed, index)
         case = generate_case(this_seed)
+        if footprint_policy is not None:
+            # Survives shrinking (shrink_case deep-copies whole cases)
+            # and archiving (validate_case ignores unknown keys).
+            case["footprint_policy"] = footprint_policy
         violations = _check_safely(case)
         failure = None
         if violations:

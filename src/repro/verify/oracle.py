@@ -47,8 +47,15 @@ from .lowering import LoweredProgram, lower_program
 from .reference import ReplayError, replay
 
 
-def case_params(n_cpus: int, speculation: bool) -> MachineParams:
-    """Small-topology machine parameters for verify runs."""
+def case_params(n_cpus: int, speculation: bool,
+                footprint_policy: str = "") -> MachineParams:
+    """Small-topology machine parameters for verify runs.
+
+    ``footprint_policy`` pins the case to one footprint-policy spec; the
+    empty default leaves resolution to the engine (params field, then
+    ``$REPRO_FOOTPRINT_POLICY``, then ``"zec12"``), so an env override
+    runs the whole oracle suite under an alternative policy.
+    """
     cores = max(2, n_cpus)
     return dataclasses.replace(
         ZEC12,
@@ -58,6 +65,7 @@ def case_params(n_cpus: int, speculation: bool) -> MachineParams:
             mcms=max(1, -(-n_cpus // (min(cores, 6) * 2))),
         ),
         speculation=speculation,
+        footprint_policy=footprint_policy,
     )
 
 
@@ -77,7 +85,8 @@ def run_case(case: Dict[str, Any]) -> CaseOutcome:
         lower_program(cpu, events)
         for cpu, events in enumerate(case["programs"])
     ]
-    machine = Machine(case_params(case["n_cpus"], case["speculation"]))
+    machine = Machine(case_params(case["n_cpus"], case["speculation"],
+                                  case.get("footprint_policy", "")))
     for lp in lowered:
         machine.add_program(lp.program)
     for addr, value in case["init"]:

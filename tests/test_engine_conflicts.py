@@ -127,8 +127,15 @@ class TestDemoteXi:
 
 class TestFootprintOverflow:
     def _tiny_l1_harness(self, lru_extension: bool) -> EngineHarness:
+        # Pin the policy these tests exercise, so a suite-wide
+        # REPRO_FOOTPRINT_POLICY override cannot change what they measure.
         params = dataclasses.replace(
-            small_params(n_cpus=1, lru_extension=lru_extension),
+            small_params(
+                n_cpus=1,
+                lru_extension=lru_extension,
+                footprint_policy="zec12" if lru_extension
+                else "no-lru-extension",
+            ),
             l1=CacheGeometry(ways=2, rows=2),
             l2=CacheGeometry(ways=4, rows=4),
         )

@@ -11,15 +11,20 @@ from repro.errors import TransactionAbortSignal
 DATA = 0x100000
 
 
-def speculative_harness() -> EngineHarness:
-    return EngineHarness(params=small_params(n_cpus=2, speculation=True),
-                         n_cpus=2)
+def speculative_harness(**overrides) -> EngineHarness:
+    return EngineHarness(
+        params=small_params(n_cpus=2, speculation=True, **overrides),
+        n_cpus=2,
+    )
 
 
 def test_prefetch_over_marks_read_set_on_miss():
     """With speculation on, a missing transactional load may also pull
     the next sequential line into the read set (over-marking)."""
-    harness = speculative_harness()
+    # 60 architected lines + prefetches exceed the bounded policy's
+    # default read cap — pin zec12 so a REPRO_FOOTPRINT_POLICY override
+    # cannot abort the transaction this test measures.
+    harness = speculative_harness(footprint_policy="zec12")
     engine = harness.engine(0)
     engine.rng.seed(1)
     harness.tbegin(0)
