@@ -11,9 +11,18 @@ Run with::
 
     python benchmarks/run_figures.py [--quick] [--workers N] [--no-cache]
                                      [--metrics] [--metrics-out FILE]
+                                     [--panels 5a,5b,...] [--service ADDR]
+                                     [--service-stream FILE]
 
 Each panel prints its own wall time; any panel failure is reported and
 turns the final exit status non-zero instead of killing the run mid-way.
+
+``--service ADDR`` routes every point through a running sweep service
+(``python -m repro.serve serve``) instead of the in-process executor;
+the printed series are bit-identical either way (the service preserves
+the determinism contract). ``--service-stream FILE`` appends each
+streamed point to a JSONL file as it lands. ``--panels`` selects a
+subset of panels (comma-separated among 5a..5f and "scalars").
 
 ``--metrics`` attaches the :mod:`repro.sim.metrics` registry to every
 simulation point (identical architected results, slower wall clock),
@@ -77,6 +86,15 @@ def main() -> int:
                         metavar="FILE",
                         help="JSONL output path for --metrics "
                              "(default: metrics.jsonl)")
+    parser.add_argument("--panels", default=None, metavar="LIST",
+                        help="comma-separated subset of panels to run "
+                             "(5a,5b,5c,5d,5e,5f,scalars; default: all)")
+    parser.add_argument("--service", default=None, metavar="ADDR",
+                        help="route all points through the sweep service "
+                             "at host:port or unix:/path")
+    parser.add_argument("--service-stream", default=None, metavar="FILE",
+                        help="with --service: append streamed points to "
+                             "this JSONL file as they land")
     args = parser.parse_args()
 
     grid = QUICK_CPU_GRID if args.quick else DEFAULT_CPU_GRID
@@ -84,6 +102,29 @@ def main() -> int:
     workers = max(1, args.workers)
     cache = None if args.no_cache else ResultCache(default_cache_root())
     use_metrics = args.metrics
+
+    client = None
+    if args.service:
+        from repro.serve.client import SweepClient
+
+        client = SweepClient(args.service,
+                             stream_log=args.service_stream)
+        runner = client.run_tasks
+        exec_tasks = client.run_tasks
+    else:
+        runner = None
+
+        def exec_tasks(tasks, metrics=False):
+            return run_tasks(tasks, workers=workers, cache=cache,
+                             metrics=metrics)
+
+    selected = None
+    if args.panels:
+        selected = {name.strip().lower() for name in args.panels.split(",")}
+        known = {"5a", "5b", "5c", "5d", "5e", "5f", "scalars"}
+        unknown = selected - known
+        if unknown:
+            parser.error(f"unknown panels: {', '.join(sorted(unknown))}")
     #: JSONL records in collection order (deterministic: panels run in a
     #: fixed order and every executor preserves submission order).
     metrics_records = []
@@ -100,7 +141,9 @@ def main() -> int:
             "summary": summary,
         })
 
-    def panel(title, fn):
+    def panel(key, title, fn):
+        if selected is not None and key not in selected:
+            return
         banner(title)
         start = time.time()
         try:
@@ -114,7 +157,8 @@ def main() -> int:
     def sweep_panel(schemes, pool, n_vars, title="", chart=False):
         points = parallel_sweep(schemes, grid, pool, n_vars,
                                 iterations=iters, workers=workers,
-                                cache=cache, metrics=use_metrics)
+                                cache=cache, metrics=use_metrics,
+                                runner=runner)
         for p in points:
             note_metrics(title or f"pool {pool} vars {n_vars}",
                          f"{p.scheme}/{p.n_cpus}cpu", p.metrics)
@@ -147,8 +191,7 @@ def main() -> int:
                           HashtableExperiment(n, elide=False, operations=50)))
             tasks.append(("hashtable",
                           HashtableExperiment(n, elide=True, operations=50)))
-        results = run_tasks(tasks, workers=workers, cache=cache,
-                            metrics=use_metrics)
+        results = exec_tasks(tasks, metrics=use_metrics)
         for (_, experiment), result in zip(tasks, results):
             note_metrics("fig5e",
                          f"hashtable/{experiment.n_threads}thr/"
@@ -167,7 +210,7 @@ def main() -> int:
                  for n in counts]
         tasks += [("footprint", FootprintTask(n, True, trials=trials))
                   for n in counts]
-        rates = run_tasks(tasks, workers=workers, cache=cache)
+        rates = exec_tasks(tasks)
         without = [FootprintPoint(n, rates[i]) for i, n in enumerate(counts)]
         with_ext = [FootprintPoint(n, rates[len(counts) + i])
                     for i, n in enumerate(counts)]
@@ -186,8 +229,7 @@ def main() -> int:
             ("queue", QueueExperiment(4, use_tx=False, operations=40)),
             ("queue", QueueExperiment(4, use_tx=True, operations=40)),
         ]
-        results = run_tasks(tasks, workers=workers, cache=cache,
-                            metrics=use_metrics)
+        results = exec_tasks(tasks, metrics=use_metrics)
         for (kind, experiment), result in zip(tasks, results):
             note_metrics("scalars", f"{kind}/{experiment}",
                          getattr(result, "metrics", None))
@@ -205,13 +247,17 @@ def main() -> int:
         print(f"S3  queue, 4 threads: TX/lock ratio {txq / lockq:.2f}x "
               "(paper: ~2x)")
 
-    panel("Figure 5(a): 4 random variables, pools 1k and 10k", fig5a)
-    panel("Figure 5(b): 1 variable, pool 10", fig5b)
-    panel("Figure 5(c): 4 variables, pool 10 (extreme contention)", fig5c)
-    panel("Figure 5(d): 4 variables read, pool 10k", fig5d)
-    panel("Figure 5(e): lock-elided hashtable", fig5e)
-    panel("Figure 5(f): LRU extension vs fetch footprint", fig5f)
-    panel("Scalar results", scalars)
+    panel("5a", "Figure 5(a): 4 random variables, pools 1k and 10k", fig5a)
+    panel("5b", "Figure 5(b): 1 variable, pool 10", fig5b)
+    panel("5c", "Figure 5(c): 4 variables, pool 10 (extreme contention)",
+          fig5c)
+    panel("5d", "Figure 5(d): 4 variables read, pool 10k", fig5d)
+    panel("5e", "Figure 5(e): lock-elided hashtable", fig5e)
+    panel("5f", "Figure 5(f): LRU extension vs fetch footprint", fig5f)
+    panel("scalars", "Scalar results", scalars)
+
+    if client is not None:
+        client.close()
 
     if use_metrics:
         banner("Abort-attribution metrics (aggregate of all points)")
@@ -231,10 +277,11 @@ def main() -> int:
             failures.append("metrics-out")
             print(f"FAILED writing {args.metrics_out}: {exc}")
 
+    mode = (f"service {args.service}" if args.service else
+            f"{workers} worker{'s' if workers != 1 else ''}, "
+            f"cache {'off' if cache is None else 'on'}")
     print()
-    print(f"total runtime: {time.time() - t0:.0f}s "
-          f"({workers} worker{'s' if workers != 1 else ''}, "
-          f"cache {'off' if cache is None else 'on'})")
+    print(f"total runtime: {time.time() - t0:.0f}s ({mode})")
     if failures:
         print(f"FAILED panels: {', '.join(failures)}")
         return 1

@@ -24,7 +24,14 @@ update     :class:`~repro.bench.figures.UpdateExperiment`   ``SimResult``
 hashtable  :class:`~repro.workloads.hashtable.HashtableExperiment` ``SimResult``
 queue      :class:`~repro.workloads.queue.QueueExperiment`  ``SimResult``
 footprint  :class:`FootprintTask`                       abort rate float
+vacation   :class:`~repro.workloads.stamp.VacationExperiment` ``SimResult``
+kmeans     :class:`~repro.workloads.stamp.KmeansExperiment`   ``SimResult``
 ========== ============================================ =================
+
+The same tasks (and the same keys) drive the scale-out sweep service in
+:mod:`repro.serve`, which generalises :class:`ResultCache` into a tiered
+content-addressed store and fans tasks out across worker processes and
+machines — still bit-identical to a serial :func:`run_tasks` run.
 """
 
 from __future__ import annotations
@@ -38,9 +45,16 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.footprint import resolve_policy_spec
 from ..params import MachineParams, ZEC12
+from ..serve.store import atomic_write_json, read_json_payload
 from ..sim.results import CpuResult, SimResult
 from ..workloads.hashtable import HashtableExperiment, run_hashtable_experiment
 from ..workloads.queue import QueueExperiment, run_queue_experiment
+from ..workloads.stamp import (
+    KmeansExperiment,
+    VacationExperiment,
+    run_kmeans,
+    run_vacation,
+)
 from .figures import (
     SweepPoint,
     UpdateExperiment,
@@ -118,14 +132,33 @@ DATA_PLANE_VERSION = 5
 _CODE_VERSION: Optional[str] = None
 
 
+def set_code_version(version: str) -> None:
+    """Seed the per-process code-version cache.
+
+    The parent computes :func:`code_version` once and passes it to every
+    spawned worker process (pool initializer) and worker agent
+    (``$REPRO_CODE_VERSION``), so short sweeps never pay for re-hashing
+    the whole ``repro`` package in each child.
+    """
+    global _CODE_VERSION
+    _CODE_VERSION = version
+
+
 def code_version() -> str:
     """Hash of the ``repro`` package sources (cached per process).
 
     Any edit to the simulator changes the version and therefore every
     cache key, so a stale cache can never leak results from old code.
+    A value seeded by :func:`set_code_version` or ``$REPRO_CODE_VERSION``
+    short-circuits the package hash (trusted: the parent that exported
+    it computed it from the same sources it shipped us).
     """
     global _CODE_VERSION
     if _CODE_VERSION is None:
+        seeded = os.environ.get("REPRO_CODE_VERSION")
+        if seeded:
+            _CODE_VERSION = seeded
+            return _CODE_VERSION
         package_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
         digest = hashlib.sha256()
         for dirpath, dirnames, filenames in sorted(os.walk(package_root)):
@@ -174,7 +207,17 @@ def task_key(kind: str, experiment: Any, params: MachineParams,
 
 
 class ResultCache:
-    """One JSON file per computed point under ``root``."""
+    """One JSON file per computed point under ``root``.
+
+    The single-directory ancestor of the tiered
+    :class:`repro.serve.store.ResultStore`; both share the same atomic
+    write/tolerant read helpers, so a cache directory doubles as the
+    store's disk tier. ``put`` publishes via a unique tmp file +
+    ``os.replace`` (atomic even with concurrent same-key writers across
+    processes *and* threads) and ``get`` treats torn, corrupt, or
+    wrong-shaped entries as misses, so a crashed or racing writer can
+    never poison later sweeps.
+    """
 
     def __init__(self, root: str) -> None:
         self.root = root
@@ -183,19 +226,10 @@ class ResultCache:
         return os.path.join(self.root, key + ".json")
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
-        try:
-            with open(self._path(key)) as handle:
-                return json.load(handle)
-        except (OSError, ValueError):
-            return None
+        return read_json_payload(self._path(key))
 
     def put(self, key: str, payload: Dict[str, Any]) -> None:
-        os.makedirs(self.root, exist_ok=True)
-        # Atomic publish so a concurrent reader never sees a torn file.
-        tmp = self._path(key) + f".tmp.{os.getpid()}"
-        with open(tmp, "w") as handle:
-            json.dump(payload, handle)
-        os.replace(tmp, self._path(key))
+        atomic_write_json(self._path(key), payload)
 
 
 def default_cache_root() -> str:
@@ -228,6 +262,14 @@ def _run_task(job: Tuple[str, Any, MachineParams, bool]) -> Dict[str, Any]:
     if kind == "queue":
         return result_to_payload(
             run_queue_experiment(experiment, params, metrics=metrics)
+        )
+    if kind == "vacation":
+        return result_to_payload(
+            run_vacation(experiment, params, metrics=metrics)
+        )
+    if kind == "kmeans":
+        return result_to_payload(
+            run_kmeans(experiment, params, metrics=metrics)
         )
     if kind == "footprint":
         rate = footprint_abort_rate(
@@ -275,7 +317,13 @@ def run_tasks(
             # Imported lazily: simulator-only users never pay for it.
             from multiprocessing import Pool
 
-            with Pool(processes=min(workers, len(missing))) as pool:
+            # The parent seeds each worker with its own code version so
+            # spawned children never re-hash the package (fork children
+            # inherit the cache; spawn children would otherwise pay a
+            # full package walk per pool).
+            with Pool(processes=min(workers, len(missing)),
+                      initializer=set_code_version,
+                      initargs=(code_version(),)) as pool:
                 fresh = pool.map(_run_task, [jobs[i] for i in missing])
         else:
             fresh = [_run_task(jobs[i]) for i in missing]
@@ -311,11 +359,16 @@ def parallel_sweep(
     workers: int = 1,
     cache: Optional[ResultCache] = None,
     metrics: bool = False,
+    runner: Optional[Any] = None,
 ) -> List[SweepPoint]:
     """Parallel drop-in for :func:`repro.bench.figures.sweep`.
 
     Produces the same points in the same order: the normalisation
-    baseline rides along as the first task.
+    baseline rides along as the first task. ``runner`` substitutes a
+    different executor with the :func:`run_tasks` calling convention —
+    e.g. :meth:`repro.serve.client.SweepClient.run_tasks` to route the
+    sweep through a running service (``workers``/``cache`` are then the
+    service's business, not ours).
     """
     tasks: List[Task] = [baseline_task(iterations)]
     for scheme in schemes:
@@ -327,8 +380,11 @@ def parallel_sweep(
                                      iterations),
                 )
             )
-    results = run_tasks(tasks, params=params, workers=workers, cache=cache,
-                        metrics=metrics)
+    if runner is not None:
+        results = runner(tasks, params=params, metrics=metrics)
+    else:
+        results = run_tasks(tasks, params=params, workers=workers,
+                            cache=cache, metrics=metrics)
     base = results[0].throughput
     points: List[SweepPoint] = []
     for (_, experiment), result in zip(tasks[1:], results[1:]):

@@ -1,0 +1,187 @@
+"""Synchronous sweep-service client.
+
+:meth:`SweepClient.run_tasks` is a drop-in for
+:func:`repro.bench.parallel.run_tasks`: it submits the task list in one
+``sweep`` request, consumes the ``point`` stream as results land (any
+landing order), reassembles submission order by index, and deserialises
+payloads with the same :func:`~repro.bench.parallel.result_from_payload`
+— so a sweep through the service is bit-identical to a serial run.
+
+With ``stream_log`` set, every streamed point is appended to a JSONL
+file in landing order (request id, index, key, source, payload): the
+artifact a monitoring pipeline — or the CI smoke job — tails while a
+sweep is in flight.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, List, Optional, Sequence, TextIO, Union
+
+from ..bench.parallel import Task, result_from_payload
+from ..params import ZEC12, MachineParams
+from . import protocol
+from .protocol import MessageStream, ProtocolError
+
+
+class ServiceError(Exception):
+    """The service reported an error or the connection broke mid-sweep."""
+
+
+class SweepClient:
+    """One connection to a sweep service; reusable across requests."""
+
+    def __init__(
+        self,
+        address: str,
+        timeout: Optional[float] = None,
+        stream_log: Union[str, TextIO, None] = None,
+    ) -> None:
+        self.address = address
+        self.timeout = timeout
+        self._stream: Optional[MessageStream] = None
+        self._request_seq = 0
+        if isinstance(stream_log, str):
+            self._stream_log: Optional[TextIO] = open(stream_log, "a")
+            self._own_log = True
+        else:
+            self._stream_log = stream_log
+            self._own_log = False
+
+    # -- connection -----------------------------------------------------
+
+    def _connected(self) -> MessageStream:
+        if self._stream is None:
+            self._stream = protocol.connect(self.address,
+                                            timeout=self.timeout)
+        return self._stream
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+        if self._own_log and self._stream_log is not None:
+            self._stream_log.close()
+            self._stream_log = None
+
+    def __enter__(self) -> "SweepClient":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+    # -- requests -------------------------------------------------------
+
+    def _roundtrip(self, message: Dict[str, Any],
+                   expect: str) -> Dict[str, Any]:
+        stream = self._connected()
+        stream.send(message)
+        reply = stream.recv()
+        if reply is None:
+            raise ServiceError("service closed the connection")
+        if reply.get("type") == "error":
+            raise ServiceError(reply.get("error", "unknown service error"))
+        if reply.get("type") != expect:
+            raise ProtocolError(
+                f"expected {expect!r}, got {reply.get('type')!r}")
+        return reply
+
+    def ping(self) -> Dict[str, Any]:
+        return self._roundtrip({"type": "ping"}, "pong")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._roundtrip({"type": "stats"}, "stats")
+
+    def shutdown(self) -> None:
+        self._roundtrip({"type": "shutdown"}, "bye")
+        self.close()
+
+    def cancel(self, request_id: str) -> None:
+        """Cancel a request (used mid-stream from another client object
+        sharing the id, or after an aborted iteration)."""
+        self._roundtrip({"type": "cancel", "id": request_id}, "cancelled")
+
+    # -- sweeps ---------------------------------------------------------
+
+    def run_payloads(
+        self,
+        tasks: Sequence[Task],
+        params: MachineParams = ZEC12,
+        metrics: Any = False,
+    ) -> List[Dict[str, Any]]:
+        """Submit tasks; return their wire payloads in submission order."""
+        self._request_seq += 1
+        rid = f"r{self._request_seq}"
+        stream = self._connected()
+        stream.send({
+            "type": "sweep",
+            "id": rid,
+            "params": protocol.params_to_wire(params),
+            "metrics": metrics,
+            "tasks": [protocol.task_to_wire(task) for task in tasks],
+        })
+        payloads: List[Optional[Dict[str, Any]]] = [None] * len(tasks)
+        received = 0
+        while True:
+            reply = stream.recv()
+            if reply is None:
+                raise ServiceError("connection closed mid-sweep")
+            kind = reply.get("type")
+            if kind == "point" and reply.get("id") == rid:
+                index = reply["index"]
+                if payloads[index] is not None:
+                    raise ServiceError(f"duplicate point index {index}")
+                payloads[index] = reply["payload"]
+                received += 1
+                self._log_point(reply)
+            elif kind == "done" and reply.get("id") == rid:
+                if received != len(tasks):
+                    raise ServiceError(
+                        f"done after {received}/{len(tasks)} points")
+                return payloads  # type: ignore[return-value]
+            elif kind == "error":
+                raise ServiceError(reply.get("error", "service error"))
+            else:
+                raise ProtocolError(
+                    f"unexpected {kind!r} while streaming {rid}")
+
+    def run_tasks(
+        self,
+        tasks: Sequence[Task],
+        params: MachineParams = ZEC12,
+        metrics: Any = False,
+    ) -> List[Any]:
+        """Drop-in for :func:`repro.bench.parallel.run_tasks`."""
+        return [result_from_payload(payload)
+                for payload in self.run_payloads(tasks, params=params,
+                                                 metrics=metrics)]
+
+    def _log_point(self, reply: Dict[str, Any]) -> None:
+        if self._stream_log is None:
+            return
+        record = {
+            "record": "point",
+            "request": reply.get("id"),
+            "index": reply.get("index"),
+            "key": reply.get("key"),
+            "source": reply.get("source"),
+            "payload": reply.get("payload"),
+        }
+        self._stream_log.write(json.dumps(record, sort_keys=True) + "\n")
+        self._stream_log.flush()
+
+
+def wait_ready(address: str, timeout: float = 30.0,
+               interval: float = 0.1) -> Dict[str, Any]:
+    """Poll ``ping`` until the service answers (CI/bench startup)."""
+    deadline = time.monotonic() + timeout
+    last_error: Optional[Exception] = None
+    while time.monotonic() < deadline:
+        try:
+            with SweepClient(address, timeout=5.0) as client:
+                return client.ping()
+        except (OSError, ServiceError, ProtocolError) as exc:
+            last_error = exc
+            time.sleep(interval)
+    raise ServiceError(f"service at {address} not ready: {last_error}")

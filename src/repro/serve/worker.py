@@ -1,0 +1,106 @@
+"""Worker agents: lease task batches from the service and execute them.
+
+A worker is admitted only when its :func:`repro.bench.parallel.code_version`
+matches the service's — a version-mismatched worker is rejected at hello,
+so a machine running stale simulator code can never serve a result. The
+version is computed **once** per agent process (or inherited from
+``$REPRO_CODE_VERSION`` / the pool initializer) instead of re-hashing the
+``repro`` package per lease.
+
+Execution reuses the exact ``run_tasks`` machinery
+(:func:`repro.bench.parallel._run_task`): a leased job is the same
+``(kind, experiment, params, metrics)`` tuple in wire form, so a payload
+computed remotely is bit-identical to one computed serially. Tasks are
+pure functions of their job, which is what makes the service's
+died-worker requeue safe: re-executing a lease has no side effects
+beyond producing the same payload again.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional
+
+from ..bench.parallel import _run_task, code_version, set_code_version
+from . import protocol
+from .protocol import ProtocolError
+
+
+def run_wire_jobs(jobs: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Execute wire-form jobs in order; also the local-executor entry.
+
+    Module-level and JSON-in/JSON-out, so it crosses process boundaries
+    under every multiprocessing start method.
+    """
+    return [_run_task(protocol.job_from_wire(job)) for job in jobs]
+
+
+def _init_worker_process(version: str) -> None:
+    """Executor initializer: seed the parent's code version (satellite:
+    never re-hash the whole package in a spawned worker process)."""
+    set_code_version(version)
+
+
+class WorkerRejected(Exception):
+    """The service refused this worker (e.g. code-version mismatch)."""
+
+
+class WorkerAgent:
+    """Blocking worker loop speaking the lease/result sub-protocol."""
+
+    def __init__(
+        self,
+        address: str,
+        name: Optional[str] = None,
+        batch: int = 4,
+        version: Optional[str] = None,
+    ) -> None:
+        self.address = address
+        self.name = name or f"{os.uname().nodename}-{os.getpid()}"
+        self.batch = max(1, batch)
+        # Computed once here (or seeded from the environment by
+        # code_version itself); every lease reuses it.
+        self.version = version or code_version()
+        self.leases_served = 0
+        self.jobs_served = 0
+
+    def run(self, max_leases: Optional[int] = None) -> int:
+        """Serve leases until the service closes the connection.
+
+        Returns the number of jobs executed. ``max_leases`` bounds the
+        loop for tests and drain-style deployments.
+        """
+        stream = protocol.connect(self.address)
+        try:
+            stream.send({
+                "type": "worker-hello",
+                "name": self.name,
+                "code_version": self.version,
+                "batch": self.batch,
+            })
+            welcome = stream.recv()
+            if welcome is None:
+                raise WorkerRejected("service closed during hello")
+            if welcome.get("type") == "reject":
+                raise WorkerRejected(welcome.get("reason", "rejected"))
+            if welcome.get("type") != "welcome":
+                raise ProtocolError(
+                    f"expected welcome, got {welcome.get('type')!r}")
+            while max_leases is None or self.leases_served < max_leases:
+                lease = stream.recv()
+                if lease is None:
+                    break
+                if lease.get("type") != "lease":
+                    raise ProtocolError(
+                        f"expected lease, got {lease.get('type')!r}")
+                jobs = lease.get("jobs") or []
+                stream.send({
+                    "type": "result",
+                    "lease": lease.get("lease"),
+                    "payloads": run_wire_jobs(jobs),
+                })
+                self.leases_served += 1
+                self.jobs_served += len(jobs)
+        finally:
+            stream.close()
+        return self.jobs_served

@@ -29,6 +29,7 @@ from ..errors import ConfigurationError
 from ..htm.api import Ctx, HtmMachine
 from ..mem.address import LINE_SIZE
 from ..params import MachineParams, ZEC12
+from ..sim.metrics import MetricsRegistry
 from ..sim.results import SimResult
 
 VACATION_BASE = 0x0200_0000
@@ -106,7 +107,8 @@ class VacationDatabase:
 
 
 def run_vacation(experiment: VacationExperiment,
-                 params: MachineParams = ZEC12) -> SimResult:
+                 params: MachineParams = ZEC12,
+                 metrics: bool = False) -> SimResult:
     machine = HtmMachine(params.with_cpus(experiment.n_threads))
     database = VacationDatabase(VACATION_BASE, experiment.rows_per_table,
                                 experiment.capacity)
@@ -132,9 +134,15 @@ def run_vacation(experiment: VacationExperiment,
 
     for tid in range(experiment.n_threads):
         machine.spawn(make_worker(tid))
+    registry = (
+        MetricsRegistry(tx_log=(metrics == "tx_log")).attach(machine)
+        if metrics else None
+    )
     result = machine.run()
     for engine in machine.engines:
         engine.quiesce()
+    if registry is not None:
+        result.metrics = registry.summary()
     return result
 
 
@@ -187,7 +195,8 @@ class KmeansAccumulators:
 
 
 def run_kmeans(experiment: KmeansExperiment,
-               params: MachineParams = ZEC12) -> SimResult:
+               params: MachineParams = ZEC12,
+               metrics: bool = False) -> SimResult:
     machine = HtmMachine(params.with_cpus(experiment.n_threads))
     accumulators = KmeansAccumulators(KMEANS_BASE, experiment.clusters)
 
@@ -203,7 +212,13 @@ def run_kmeans(experiment: KmeansExperiment,
 
     for _ in range(experiment.n_threads):
         machine.spawn(worker)
+    registry = (
+        MetricsRegistry(tx_log=(metrics == "tx_log")).attach(machine)
+        if metrics else None
+    )
     result = machine.run()
     for engine in machine.engines:
         engine.quiesce()
+    if registry is not None:
+        result.metrics = registry.summary()
     return result
