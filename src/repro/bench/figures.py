@@ -55,13 +55,16 @@ def run_update_experiment(
     """
     machine_params = params.with_cpus(experiment.n_cpus)
     layout = PoolLayout(experiment.pool_size)
+    machine = Machine(machine_params)
+    # Pin program emission to the machine's resolved fallback mode so a
+    # params-selected mode needs no matching environment variable.
     program = build_update_program(
         experiment.scheme,
         layout,
         n_vars=experiment.n_vars,
         iterations=experiment.iterations,
+        fallback_mode=machine.fallback_mode,
     )
-    machine = Machine(machine_params)
     for _ in range(experiment.n_cpus):
         machine.add_program(program)
     registry = (

@@ -45,6 +45,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.footprint import resolve_policy_spec
 from ..params import MachineParams, ZEC12
+from ..stm import resolve_fallback_mode
 from ..serve.store import atomic_write_json, read_json_payload
 from ..sim.results import CpuResult, SimResult
 from ..workloads.hashtable import HashtableExperiment, run_hashtable_experiment
@@ -95,6 +96,8 @@ def result_to_payload(result: SimResult) -> Dict[str, Any]:
                 "tx_committed": c.tx_committed,
                 "tx_aborted": c.tx_aborted,
                 "xi_rejects": c.xi_rejects,
+                "sw_committed": c.sw_committed,
+                "sw_aborted": c.sw_aborted,
                 "intervals": list(c.intervals),
             }
             for c in result.cpus
@@ -122,12 +125,14 @@ def result_from_payload(payload: Dict[str, Any]) -> Any:
 #: bytearray memory, line-indexed store forwarding, run-based drains;
 #: v4: retry-storm elision + calendar-queue scheduler — new
 #: ``SimResult.sched`` counter block; v5: pluggable footprint policies —
-#: keys carry the *resolved* policy spec).
+#: keys carry the *resolved* policy spec; v6: hybrid-TM fallback modes —
+#: ``CpuResult`` grows ``sw_committed``/``sw_aborted`` and keys carry the
+#: *resolved* fallback mode).
 #: Bumped whenever the stored-result format or the memory/store-cache
 #: semantics change in a way the source hash alone should not be trusted
 #: to catch (e.g. a rename-only refactor that keeps byte-identical
 #: sources elsewhere, or an external cache shared across checkouts).
-DATA_PLANE_VERSION = 5
+DATA_PLANE_VERSION = 6
 
 _CODE_VERSION: Optional[str] = None
 
@@ -185,7 +190,8 @@ def task_key(kind: str, experiment: Any, params: MachineParams,
     params field at its empty default the policy comes from
     ``$REPRO_FOOTPRINT_POLICY``, which ``asdict(params)`` cannot see —
     without this, a cache written under one policy would be served to
-    runs under another.
+    runs under another. The resolved hybrid-TM fallback mode is keyed
+    the same way (``$REPRO_FALLBACK_MODE``).
     """
     blob = json.dumps(
         {
@@ -193,6 +199,7 @@ def task_key(kind: str, experiment: Any, params: MachineParams,
             "experiment": asdict(experiment),
             "params": asdict(params),
             "footprint_policy": resolve_policy_spec(params),
+            "fallback_mode": resolve_fallback_mode(params),
             "code": code_version(),
             "data_plane": DATA_PLANE_VERSION,
             "python": f"{sys.version_info[0]}.{sys.version_info[1]}",

@@ -50,6 +50,12 @@ from ..mem.storecache import (
 from ..mem.storequeue import StoreQueue
 from ..mem.xi import Xi, XiResponse, XiType
 from ..params import MachineParams
+from ..stm import (
+    OREC_GRAIN_SHIFT,
+    StmRuntime,
+    orec_address,
+    resolve_fallback_mode,
+)
 from .abort import AbortCode, TABORT_CODE_BASE, TransactionAbort
 from .footprint import make_policy
 from .diagnostic import TransactionDiagnosticControl
@@ -169,6 +175,17 @@ class MetricsSink:
         upgrade ("upgrade"), or a core-to-core intervention by distance
         ("intervention"/"intervention-mcm"/"intervention-remote")."""
 
+    def note_sw_commit_sets(self, ia: int, sbegin_ia: int,
+                            read_set, write_set) -> None:
+        """Hybrid-TM only: a software (STM) transaction committed at SEND
+        address ``ia``; ``sbegin_ia`` identifies its SBEGIN. The sets are
+        the runtime's live line-address sets — copy to keep."""
+
+    def note_sw_abort_sets(self, ia: int, sbegin_ia: int, code: int,
+                           read_set, write_set) -> None:
+        """Hybrid-TM only: a software transaction aborted (validation
+        failure or SABORT) at address ``ia`` with abort code ``code``."""
+
 
 class _MetricsFanout(MetricsSink):
     """Forwards hook calls to several sinks (e.g. Tracer + registry)."""
@@ -217,6 +234,14 @@ class _MetricsFanout(MetricsSink):
     def note_fetch(self, line, exclusive, source):
         for sink in self.sinks:
             sink.note_fetch(line, exclusive, source)
+
+    def note_sw_commit_sets(self, ia, sbegin_ia, read_set, write_set):
+        for sink in self.sinks:
+            sink.note_sw_commit_sets(ia, sbegin_ia, read_set, write_set)
+
+    def note_sw_abort_sets(self, ia, sbegin_ia, code, read_set, write_set):
+        for sink in self.sinks:
+            sink.note_sw_abort_sets(ia, sbegin_ia, code, read_set, write_set)
 
 
 class TxEngine(CpuPort):
@@ -310,6 +335,26 @@ class TxEngine(CpuPort):
         self.stats_tx_aborted = 0
         self.stats_xi_rejected = 0
         self.stats_prefetches = 0
+        self.stats_sw_committed = 0
+        self.stats_sw_aborted = 0
+
+        #: Hybrid-TM fallback mode ("lock" | "stm"; see :mod:`repro.stm`)
+        #: and the per-CPU STM runtime. In the default "lock" mode
+        #: ``stm`` is None and nothing below is bound, so every lock-mode
+        #: path stays byte-identical. In "stm" mode the memory operations
+        #: are shadowed by instance attributes that route software-
+        #: transaction accesses through the STM runtime and make hardware
+        #: transactions subscribe to the orec lines they touch.
+        self.fallback_mode = resolve_fallback_mode(params)
+        if self.fallback_mode == "stm":
+            self.stm: Optional[StmRuntime] = StmRuntime(self)
+            self.load = self._hybrid_load
+            self.store = self._hybrid_store
+            self.add_to_storage = self._hybrid_add_to_storage
+            self.compare_and_swap = self._hybrid_compare_and_swap
+            self.ntstg = self._hybrid_ntstg
+        else:
+            self.stm = None
 
         #: Attached :class:`MetricsSink` (None, one sink, or a fanout).
         #: Hook sites guard on ``self.metrics is not None`` so the
@@ -474,6 +519,22 @@ class TxEngine(CpuPort):
             self.tx.diagnostic_abort_armed = True
             self._abort_now(AbortCode.DIAGNOSTIC, ia=ia)
             self.raise_if_pending()
+        pub_latency = 0
+        if self.tx.depth == 1 and self.stm is not None:
+            # Hybrid-TM publication: before the commit point, bump the
+            # orec of every transactionally written grain to a fresh
+            # global-clock version so concurrent STM commit-time
+            # validation detects this hardware transaction's stores.
+            # Aborts (STORE_CONFLICT) if a grain is locked by a
+            # committing software transaction. Resumable across
+            # FetchRetry via tx.stm_wv / tx.stm_pub_idx.
+            lines = self.store_cache.tx_lines()
+            if lines:
+                conflict, pub_latency = self.stm.hw_publish(self.tx, lines)
+                if conflict is not None:
+                    self._abort_now(AbortCode.STORE_CONFLICT,
+                                    conflict_token=conflict, ia=ia)
+                    self.raise_if_pending()
         remaining = self.tx.end()
         if remaining > 0:
             return (self.params.costs.tend, remaining)
@@ -508,7 +569,7 @@ class TxEngine(CpuPort):
         event = self.per.check_tend(ia)
         if event is not None:
             self.pending_per_event = event
-        return (self.params.costs.tend, 0)
+        return (self.params.costs.tend + pub_latency, 0)
 
     def tx_abort(self, code: int, ia: int = 0) -> None:
         """TABORT: immediate abort with a program-specified code."""
@@ -810,6 +871,122 @@ class TxEngine(CpuPort):
         return (swapped, current, latency)
 
     # ------------------------------------------------------------------
+    # hybrid-TM routing (bound as instance attributes in stm mode only)
+    # ------------------------------------------------------------------
+
+    def _subscribe_orecs(self, addr: int, length: int) -> int:
+        """Hardware-transaction orec subscription (stm mode).
+
+        Fetches (read-only), tx-read-marks and tracks the orec line
+        covering every 128-byte grain this transactional access touches.
+        Subscriptions live in the dedicated ``tx.orec_set`` — not the
+        read set — so the logged data footprint stays exactly the
+        architected accesses; :meth:`_read_set_hit` checks both, so an
+        STM writer's lock-acquisition CSG (an exclusive XI on the orec
+        line) aborts this transaction through the normal FETCH_CONFLICT
+        path. One fetch per orec line per transaction.
+
+        A *locked* orec (odd version) means a software transaction is
+        between lock acquisition and write-back/release for that grain:
+        the grain's data is about to change, and reading it now could
+        observe a torn software commit (some grains written back, some
+        not). The subscription only protects against locks acquired
+        *after* this fetch, so the lock already present must be checked
+        explicitly — abort as a fetch conflict, exactly as if the
+        writer's XI had landed first.
+        """
+        oset = self.tx.orec_set
+        latency = 0
+        line_mask = self._line_mask
+        first_grain = addr >> OREC_GRAIN_SHIFT
+        last_grain = (addr + length - 1) >> OREC_GRAIN_SHIFT
+        for grain in range(first_grain, last_grain + 1):
+            oa = orec_address(grain << OREC_GRAIN_SHIFT)
+            oline = oa & line_mask
+            if oline not in oset:
+                latency += self._fetch(oline, False)[0]
+                self.l1.mark_tx_read(oline)
+                oset.add(oline)
+            if self._read_value(oa, 8) & 1:
+                self._abort_now(AbortCode.FETCH_CONFLICT,
+                                conflict_token=addr & line_mask)
+                self.raise_if_pending()
+        return latency
+
+    def _hybrid_load(self, addr: int, length: int = 8,
+                     exclusive: bool = False) -> Tuple[int, int]:
+        stm = self.stm
+        if stm.active:
+            return stm.tx_load(addr, length, exclusive)
+        if self.pending_abort is not None:
+            raise TransactionAbortSignal(self.pending_abort)
+        if self.tx.depth:
+            # Translation faults precede any coherence traffic: the orec
+            # subscription must not run (or FetchRetry) for an access
+            # that architecturally page-faults, so the fault/filtering
+            # behaviour is identical to lock mode.
+            self._translate(addr, length, store=False)
+            extra = self._subscribe_orecs(addr, length)
+        else:
+            extra = 0
+        value, latency = TxEngine.load(self, addr, length, exclusive)
+        return (value, latency + extra)
+
+    def _hybrid_store(self, addr: int, value: int, length: int = 8) -> int:
+        stm = self.stm
+        if stm.active:
+            return stm.tx_store(addr, value, length)
+        if self.pending_abort is not None:
+            raise TransactionAbortSignal(self.pending_abort)
+        if self.tx.depth:
+            self._translate(addr, length, store=True)
+            extra = self._subscribe_orecs(addr, length)
+        else:
+            extra = 0
+        return TxEngine.store(self, addr, value, length) + extra
+
+    def _hybrid_add_to_storage(self, addr: int, increment: int,
+                               length: int = 8) -> Tuple[int, int]:
+        stm = self.stm
+        if stm.active:
+            return stm.tx_add(addr, increment, length)
+        if self.pending_abort is not None:
+            raise TransactionAbortSignal(self.pending_abort)
+        if self.tx.depth:
+            self._translate(addr, length, store=True)
+            extra = self._subscribe_orecs(addr, length)
+        else:
+            extra = 0
+        value, latency = TxEngine.add_to_storage(self, addr, increment, length)
+        return (value, latency + extra)
+
+    def _hybrid_compare_and_swap(
+        self, addr: int, expected: int, new: int, length: int = 8
+    ) -> Tuple[bool, int, int]:
+        stm = self.stm
+        if stm.active:
+            return stm.tx_cas(addr, expected, new, length)
+        if self.pending_abort is not None:
+            raise TransactionAbortSignal(self.pending_abort)
+        if self.tx.depth:
+            self._translate(addr, length, store=True)
+            extra = self._subscribe_orecs(addr, length)
+        else:
+            extra = 0
+        swapped, observed, latency = TxEngine.compare_and_swap(
+            self, addr, expected, new, length
+        )
+        return (swapped, observed, latency + extra)
+
+    def _hybrid_ntstg(self, addr: int, value: int) -> int:
+        # NTSTG bypasses the transactional write set on both paths, so
+        # it neither subscribes nor joins the STM redo log.
+        stm = self.stm
+        if stm.active:
+            return stm.tx_ntstg(addr, value)
+        return TxEngine.ntstg(self, addr, value)
+
+    # ------------------------------------------------------------------
     # fetch path and footprint accounting
     # ------------------------------------------------------------------
 
@@ -863,7 +1040,14 @@ class TxEngine(CpuPort):
                 if probe > lat.l2_hit:
                     self._fetch_wait = key
                     raise FetchRetry(probe - lat.l1_hit, key)
-        self._fetch_wait = None
+        # Clear only a wait armed for *this* line (same rule as the
+        # L1-hit path above): an L2 hit on a leading line must not
+        # cancel the interconnect wait armed for a trailing line, or a
+        # transaction touching several cold lines re-probes and re-arms
+        # the trailing fetch forever — a livelock under abort pressure.
+        wait = self._fetch_wait
+        if wait is not None and wait[0] == line:
+            self._fetch_wait = None
         outcome = self.fabric.try_fetch(self.cpu_id, line, exclusive)
         # Our own install may have evicted our own footprint (note_l1/l2
         # hooks set pending aborts); deliver before using the data.
@@ -1140,6 +1324,7 @@ class TxEngine(CpuPort):
         self._apply_drained_runs()
         self.tx.read_set.clear()
         self.tx.octowords.clear()
+        self.tx.orec_set.clear()
         self.solo_requested = False
         self.stats_tx_aborted += 1
 
@@ -1272,7 +1457,9 @@ class TxEngine(CpuPort):
         """
         if not self.tx.active or self.pending_abort is not None:
             return False
-        return line in self.tx.read_set or self._fp_imprecise(line)
+        tx = self.tx
+        return (line in tx.read_set or line in tx.orec_set
+                or self._fp_imprecise(line))
 
     def _stiff_arm(self, xi: Xi, abort_code: AbortCode) -> Tuple[XiResponse, int]:
         """Reject the XI "in the hope of finishing the transaction before

@@ -74,6 +74,17 @@ class TransactionState:
     xi_rejects: int = 0
     #: Whether the Transaction Diagnostic Control already fired this tx.
     diagnostic_abort_armed: bool = False
+    #: Hybrid-TM (fallback_mode="stm") only: cache lines of the STM
+    #: ownership records this HW transaction has *subscribed* to (read
+    #: with tx semantics so an STM lock acquisition XIs us out). Kept
+    #: separate from ``read_set`` so the logged data read footprint
+    #: stays exact for the verify oracles. Always empty in lock mode.
+    orec_set: Set[int] = field(default_factory=set)
+    #: Hybrid-TM commit-publication progress (resumable across fetch
+    #: retries): the write version claimed from the global clock (0 =
+    #: not yet claimed) and how many write-grain orecs are published.
+    stm_wv: int = 0
+    stm_pub_idx: int = 0
 
     @property
     def active(self) -> bool:
@@ -114,6 +125,9 @@ class TransactionState:
         self.instruction_count = 0
         self.xi_rejects = 0
         self.diagnostic_abort_armed = False
+        self.orec_set.clear()
+        self.stm_wv = 0
+        self.stm_pub_idx = 0
 
     # -- effective controls across the nest ------------------------------------
 

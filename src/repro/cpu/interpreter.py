@@ -37,6 +37,7 @@ from ..errors import (
     TransactionAbortSignal,
 )
 from ..mem.xi import WATCH_BLOCK_MASK, XiType
+from ..stm import StmAbort
 from .assembler import Program
 from .interrupts import OsModel
 from .isa import Instruction, Mem
@@ -624,6 +625,10 @@ class IsaCpu:
             self._retrying = None
             self._spin = None
             return self._handle_os_interruption(signal.interruption)
+        except StmAbort as ab:
+            self._retrying = None
+            self._spin = None
+            return self._handle_stm_abort(ia, ab)
 
     # ------------------------------------------------------------------
     # spin-wait elision: certification, parking, wake fast-forward
@@ -988,6 +993,21 @@ class IsaCpu:
                 latency += self.os.external_interruption(self.cpu_id)
         return latency
 
+    def _handle_stm_abort(self, ia: int, ab: StmAbort) -> int:
+        """Software-transaction abort (hybrid-TM stm mode): restore the
+        SBEGIN-time register snapshot, set CC 2 and resume after the
+        SBEGIN, where the harness's JNZ branches into its back-off/retry
+        path. Mirrors :meth:`_handle_abort` for the software side."""
+        engine = self.engine
+        stm = engine.stm
+        snapshot = stm.gr_snapshot
+        resume = stm.finish_abort(ia, ab.code)
+        if snapshot is not None:
+            self.regs.gr[:] = snapshot
+        self.regs.psw.condition_code = 2
+        self.regs.psw.instruction_address = resume
+        return engine.params.costs.tbegin_base
+
     @staticmethod
     def _interruption_from_abort(abort: TransactionAbort):
         from ..core.filtering import ProgramInterruption
@@ -1305,6 +1325,40 @@ class IsaCpu:
         self.engine.tx_abort(code, ia=ia)
         return 0  # unreachable: tx_abort raises
 
+    def _op_sbegin(self, ia, insn):
+        stm = self.engine.stm
+        if stm is None:
+            raise MachineStateError(
+                "SBEGIN requires fallback_mode='stm' (see repro.stm)"
+            )
+        if stm.active:
+            raise MachineStateError(
+                "SBEGIN inside a software transaction (no SW nesting)"
+            )
+        latency = stm.begin(ia, self.program.next_address(ia),
+                            self.regs.snapshot_gr())
+        self.regs.psw.condition_code = 0
+        return latency
+
+    def _op_send(self, ia, insn):
+        engine = self.engine
+        stm = engine.stm
+        if stm is None or not stm.active:
+            # Mirrors TEND outside a transaction: CC only, no effect.
+            self.regs.psw.condition_code = 2
+            return engine.params.costs.tend
+        latency = stm.commit(ia)  # may raise StmAbort / FetchRetry
+        self.regs.psw.condition_code = 0
+        return latency
+
+    def _op_sabort(self, ia, insn):
+        engine = self.engine
+        stm = engine.stm
+        if stm is None or not stm.active:
+            engine._program_interruption(InterruptionCode.SPECIFICATION)
+            return 0  # unreachable: _program_interruption raises
+        raise StmAbort(insn.operands[0])
+
     def _op_etnd(self, ia, insn):
         (r,) = insn.operands
         latency, depth = self.engine.nesting_depth()
@@ -1585,6 +1639,9 @@ class IsaCpu:
         "TBEGINC": _op_tbeginc,
         "TEND": _op_tend,
         "TABORT": _op_tabort,
+        "SBEGIN": _op_sbegin,
+        "SEND": _op_send,
+        "SABORT": _op_sabort,
         "ETND": _op_etnd,
         "PPA": _op_ppa,
         "NOPR": _op_nopr,

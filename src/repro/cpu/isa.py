@@ -278,6 +278,33 @@ def TABORT(code: int) -> Instruction:
                        restricted_in_constrained=True)
 
 
+def SBEGIN() -> Instruction:
+    """Software-Transaction Begin: open an orec-STM transaction (the
+    hybrid fallback path, `repro.stm`). CC0 on success; like the other
+    TX-facility begin/end instructions it is not a real z instruction's
+    encoding — it models the runtime's `stm_begin()` entry point at the
+    cost of one instruction. Restricted inside hardware transactions
+    (abort code 11): HW and SW modes never nest in one context."""
+    return Instruction("SBEGIN", (), length=4, restricted_in_tx=True,
+                       restricted_in_constrained=True)
+
+
+def SEND() -> Instruction:
+    """Software-Transaction End: TL2 commit (lock write orecs, bump the
+    global clock, validate the read set, write back, release). CC0 on
+    success; a failed validation aborts back to after the SBEGIN with
+    CC2. Outside a software transaction: CC2 no-op (mirrors TEND)."""
+    return Instruction("SEND", (), length=4, restricted_in_tx=True,
+                       restricted_in_constrained=True)
+
+
+def SABORT(code: int) -> Instruction:
+    """Software-Transaction Abort with a program-specified code: drop
+    the redo log and resume after the SBEGIN with CC2."""
+    return Instruction("SABORT", (code,), length=6, restricted_in_tx=True,
+                       restricted_in_constrained=True)
+
+
 def ETND(r: int) -> Instruction:
     """Extract Transaction Nesting Depth into GR[r] (millicoded)."""
     return Instruction("ETND", (r,), length=4, restricted_in_constrained=True)

@@ -133,6 +133,24 @@ class Ctx:
 
     # -- transactions ----------------------------------------------------------
 
+    def _retrying(self, call: Callable[[], Any]):
+        """Drive a resumable engine call through stiff-armed fetches.
+
+        ``tx_begin``/``tx_end`` are invoked directly (not as yielded
+        ops), so a :class:`FetchRetry` from inside them — the stm-mode
+        commit publishes orec versions through the coherent fetch path —
+        would otherwise escape through the generator. The ISA
+        interpreter re-executes the instruction in this situation; this
+        is the coroutine equivalent: wait out the stiff-arm delay, then
+        re-issue the (resumable) call. Lock-mode calls never raise, so
+        this loop is pure pass-through there.
+        """
+        while True:
+            try:
+                return call()
+            except FetchRetry as retry:
+                yield ("stall", retry.delay)
+
     def transaction(
         self,
         body: Callable[["Ctx"], Generator],
@@ -157,14 +175,18 @@ class Ctx:
         retry_count = 0
         while True:
             try:
-                cycles = engine.tx_begin(controls, constrained=constrained,
-                                         ia=0)
+                cycles = yield from self._retrying(
+                    lambda: engine.tx_begin(controls,
+                                            constrained=constrained, ia=0)
+                )
                 yield from self.delay(cycles)
                 if lock is not None:
                     if (yield from self.load(lock)) != 0:
                         engine.tx_abort(LOCK_BUSY_ABORT_CODE)
                 result = yield from body(self)
-                cycles, _depth = engine.tx_end(0)
+                cycles, _depth = yield from self._retrying(
+                    lambda: engine.tx_end(0)
+                )
                 yield from self.delay(cycles)
                 return result
             except TransactionAbortSignal:
@@ -288,6 +310,12 @@ class HtmThread:
     def _execute(self, op, retrying: bool = False):
         engine = self.engine
         kind = op[0]
+        if kind == "stall":
+            # Not an architected instruction: the wait half of a
+            # stiff-armed engine call (see Ctx._retrying). Pending
+            # aborts must still land before the call is re-issued.
+            engine.raise_if_pending()
+            return None, max(int(op[1]), 0)
         if kind != "mark":
             if retrying:
                 # A re-executed (stiff-armed or faulted) operation is the

@@ -215,6 +215,14 @@ class MachineParams:
     #: failing that, ``"zec12"``; an explicit non-empty value always wins
     #: over the environment.
     footprint_policy: str = ""
+    #: Fallback mode for retry-exhausted ``transaction_with_fallback``
+    #: harnesses (see :mod:`repro.stm`): ``"lock"`` (the paper's Figure 1
+    #: global-lock fallback, bit-identical default) or ``"stm"`` (the
+    #: hybrid-TM orec STM fallback running concurrently with hardware
+    #: transactions). The empty default resolves at engine construction
+    #: to ``$REPRO_FALLBACK_MODE`` or, failing that, ``"lock"``; an
+    #: explicit non-empty value always wins over the environment.
+    fallback_mode: str = ""
     #: Model speculative over-marking of the tx-read set (section III.C).
     speculation: bool = True
     #: Random-seed base for all stochastic machine behaviour.

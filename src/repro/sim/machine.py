@@ -22,6 +22,7 @@ from typing import Callable, List, Optional
 
 from ..core.engine import TxEngine
 from ..core.footprint import resolve_policy_spec
+from ..stm import resolve_fallback_mode
 from ..cpu.assembler import Program
 from ..cpu.interpreter import IsaCpu
 from ..cpu.interrupts import OsModel
@@ -90,6 +91,13 @@ class Machine:
         (``params.footprint_policy``, else ``$REPRO_FOOTPRINT_POLICY``,
         else ``"zec12"``) — see :mod:`repro.core.footprint`."""
         return resolve_policy_spec(self.params)
+
+    @property
+    def fallback_mode(self) -> str:
+        """The resolved hybrid-TM fallback mode every engine is built
+        with (``params.fallback_mode``, else ``$REPRO_FALLBACK_MODE``,
+        else ``"lock"``) — see :mod:`repro.stm`."""
+        return resolve_fallback_mode(self.params)
 
     def _new_engine(self) -> TxEngine:
         cpu_id = len(self.engines)
@@ -270,5 +278,7 @@ class Machine:
             tx_committed=engine.stats_tx_committed,
             tx_aborted=engine.stats_tx_aborted,
             xi_rejects=engine.stats_xi_rejected,
+            sw_committed=engine.stats_sw_committed,
+            sw_aborted=engine.stats_sw_aborted,
             intervals=list(self._recorders[index].intervals),
         )

@@ -228,9 +228,11 @@ class TxLog:
         ``[cpu, kind, tbegin_ia, end_ia, code, constrained,
            read_lines, write_lines]``
 
-    with ``kind`` ``"commit"`` or ``"abort"``, ``end_ia`` the TEND (or
-    aborting-instruction) address, ``code`` the abort code (0 for
-    commits), ``constrained`` 0/1, and ``read_lines``/``write_lines``
+    with ``kind`` ``"commit"`` or ``"abort"`` (hardware transactions) or
+    ``"sw_commit"`` / ``"sw_abort"`` (hybrid-TM software transactions,
+    with the SBEGIN address in the ``tbegin_ia`` slot), ``end_ia`` the
+    TEND/SEND (or aborting-instruction) address, ``code`` the abort code
+    (0 for commits), ``constrained`` 0/1, and ``read_lines``/``write_lines``
     sorted line-address lists — so a log compares equal whether it was
     read in-process or round-tripped through a JSON payload. Unknown
     addresses are recorded as -1. The log is capped at ``limit`` entries;
@@ -285,6 +287,14 @@ class _TxLogTap(MetricsSink):
                         write_set):
         self.log.append(self.cpu_id, "abort", tbegin_ia, abort.aborted_ia,
                         abort.code, constrained, read_set, write_set)
+
+    def note_sw_commit_sets(self, ia, sbegin_ia, read_set, write_set):
+        self.log.append(self.cpu_id, "sw_commit", sbegin_ia, ia, 0,
+                        False, read_set, write_set)
+
+    def note_sw_abort_sets(self, ia, sbegin_ia, code, read_set, write_set):
+        self.log.append(self.cpu_id, "sw_abort", sbegin_ia, ia, code,
+                        False, read_set, write_set)
 
 
 #: Per-CPU dict keys merged by plain integer addition.

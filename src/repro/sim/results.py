@@ -26,6 +26,10 @@ class CpuResult:
     tx_committed: int = 0
     tx_aborted: int = 0
     xi_rejects: int = 0
+    #: Software (STM) transaction outcomes — hybrid-TM ``fallback_mode=
+    #: "stm"`` runs only; always 0 in the default lock mode.
+    sw_committed: int = 0
+    sw_aborted: int = 0
     #: Measured (start, end) cycle pairs from MARK_START/MARK_END.
     intervals: List[int] = field(default_factory=list)
 

@@ -382,8 +382,19 @@ class Scheduler:
                     self._stop_applied_for = solo
                     self.stats_broadcast_stops += 1
                 if solo is not None and index != solo:
-                    deferred.append((time, index))
-                    continue
+                    stm = getattr(driver.engine, "stm", None)
+                    if stm is None or not stm.commit_holds_locks:
+                        deferred.append((time, index))
+                        continue
+                    # A software (STM) committer holding acquired orecs
+                    # is exempt from the broadcast-stop: freezing it
+                    # would leave its write locks held for the whole
+                    # solo window, and a constrained transaction that
+                    # reads a locked grain can never succeed — not even
+                    # solo, since stopping CPUs cannot release storage
+                    # locks. Lock release is bounded work (validate,
+                    # write back, release), after which the stop flag
+                    # holds the CPU before it starts anything new.
             # Heap-eliding fast loop. While this driver's next deadline
             # strictly precedes every queued event, re-pushing and
             # popping it would hand the CPU straight back — so step it

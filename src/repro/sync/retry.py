@@ -35,11 +35,14 @@ from ..cpu.isa import (
     Mem,
     PAUSE,
     PPA,
+    SBEGIN,
+    SEND,
     TABORT,
     TBEGIN,
     TBEGINC,
     TEND,
 )
+from ..stm import resolve_fallback_mode
 from .spinlock import acquire_lock, release_lock
 
 #: TABORT code used when the elided lock is observed busy. Even, so the
@@ -63,20 +66,57 @@ def transaction_with_fallback(
     grsm: int = 0xFF,
     pifc: int = 0,
     test_lock: bool = True,
+    fallback_mode: Optional[str] = None,
 ) -> List:
     """Emit the Figure 1 lock-elision harness around ``body``.
 
     ``body`` runs transactionally; ``fallback_body`` (default: ``body``)
     runs under ``lock`` after CC 3 or ``max_retries`` transient aborts.
     Bodies must not clobber R0 (retry count) and must have unique labels.
+
+    ``fallback_mode`` selects the exhausted-retry path: ``"lock"`` emits
+    the paper's global-lock fallback exactly as before, ``"stm"`` emits
+    the hybrid-TM software path (SBEGIN / fallback body / SEND with a
+    PPA-backed retry loop — see :mod:`repro.stm`; the in-transaction
+    lock test is dropped, since HW/SW conflict detection runs through
+    orecs instead of a lock word). The default ``None`` resolves from
+    ``$REPRO_FALLBACK_MODE`` like engine construction does, so programs
+    and machines built in one process agree on the mode.
     """
     p = prefix
+    mode = fallback_mode or resolve_fallback_mode(None)
     fallback = list(fallback_body if fallback_body is not None else body)
     items: List = [
         LHI(RETRY_COUNT_REGISTER, 0),                       # retry count = 0
         (f"{p}.loop", TBEGIN(tdb=tdb_address, grsm=grsm, pifc=pifc)),
         JNZ(f"{p}.abort"),                                  # CC != 0: aborted
     ]
+    if mode == "stm":
+        items += list(body)
+        items += [
+            TEND(),
+            J(f"{p}.done"),
+            (f"{p}.abort", JO(f"{p}.fallback")),            # no retry if CC=3
+            AHI(RETRY_COUNT_REGISTER, 1),
+            CIJNL(RETRY_COUNT_REGISTER, max_retries, f"{p}.fallback"),
+            PPA(RETRY_COUNT_REGISTER),                      # random delay
+            J(f"{p}.loop"),
+            # Software path: a failed SEND (or any STM conflict inside
+            # the body) resumes right after SBEGIN with CC 2; the JNZ
+            # then routes through the PPA back-off into a fresh attempt.
+            (f"{p}.fallback", SBEGIN()),
+            JNZ(f"{p}.sback"),
+        ]
+        items += fallback
+        items += [
+            SEND(),
+            J(f"{p}.done"),
+            (f"{p}.sback", AHI(RETRY_COUNT_REGISTER, 1)),
+            PPA(RETRY_COUNT_REGISTER),
+            J(f"{p}.fallback"),
+            f"{p}.done",
+        ]
+        return items
     if test_lock:
         items += [
             LTG(LOCK_TEST_REGISTER, lock),                  # load&test the lock

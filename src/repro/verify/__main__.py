@@ -38,6 +38,13 @@ def main(argv=None) -> int:
                              "power-spill:128, bounded:64,16); default "
                              "leaves cases unpinned so the engine resolves "
                              "the policy (incl. $REPRO_FOOTPRINT_POLICY)")
+    parser.add_argument("--fallback-mode", default="",
+                        choices=("", "lock", "stm"),
+                        help="fuzz hybrid-TM histories: 'stm' generates "
+                             "retry-exhausting cases whose fallback path "
+                             "runs under the orec STM concurrently with "
+                             "hardware transactions (default: classic "
+                             "lock-era case stream)")
     parser.add_argument("--replay", metavar="DIR", default=None,
                         help="re-check every corpus case in DIR instead "
                              "of fuzzing")
@@ -81,6 +88,7 @@ def main(argv=None) -> int:
         max_failures=args.max_failures,
         on_progress=progress,
         footprint_policy=args.footprint_policy,
+        fallback_mode=args.fallback_mode,
     )
     status = "FAILED" if report.failures else "passed"
     print(

@@ -66,6 +66,30 @@ reference also checks what each transaction observed:
 Fates: ``commit`` blocks retry until they commit; ``abort_once`` blocks
 run the fault path on their first attempt only; ``doomed`` blocks fault
 on every attempt and give up after :data:`MAX_DOOMED_ATTEMPTS`.
+
+Hybrid-TM cases (``"fallback_mode": "stm"`` at the top level) may also
+contain ``"mode": "hybrid"`` blocks — the retry-exhausting
+``transaction_with_fallback`` shape: a bounded TBEGIN retry loop whose
+exhausted path runs the ops under a *software* transaction
+(SBEGIN/SEND, see :mod:`repro.stm`), concurrently with other CPUs'
+hardware transactions. Hybrid-specific fields:
+
+``"hw_fault"``
+    true: every hardware attempt TABORTs (deterministic retry
+    exhaustion — the block can only commit through the software path);
+    false: the hardware body runs the ops and may commit before the
+    retry bound is ever reached.
+``"max_retries"``
+    Hardware attempts before falling back (small, 1–3).
+
+For hybrid blocks the ``fate`` applies to the *software* path:
+``abort_once`` SABORTs the first software attempt (after running the
+fault furniture: the canary store goes through the STM redo log and
+must never become visible; the NTSTG survives), ``doomed`` SABORTs
+every attempt and gives up after :data:`MAX_DOOMED_ATTEMPTS`
+(``hw_fault`` must be true, so the block never commits anywhere).
+Hybrid blocks cannot nest and take no ``etnd`` ops (ETND reports the
+*hardware* nesting depth, which is 0 inside a software transaction).
 """
 
 from __future__ import annotations
@@ -99,6 +123,16 @@ def tabort_code(block_id: int) -> int:
     aborts in the transaction log.
     """
     return 256 + 2 * (block_id % 1000)
+
+
+def sabort_code(block_id: int) -> int:
+    """The SABORT code a hybrid block's software fault path reports.
+
+    Even (transient, CC2 at the SBEGIN resume point) and disjoint from
+    :func:`tabort_code` for realistic block counts, so software
+    fault-path aborts are attributable in the mixed transaction log.
+    """
+    return 512 + 2 * (block_id % 1000)
 
 
 def private_base(cpu: int) -> int:
@@ -175,6 +209,36 @@ def tracked_addresses(case: Dict[str, Any]) -> Set[int]:
     return addrs - conditional
 
 
+def static_footprint_sw(block: Dict[str, Any],
+                        line_size: int) -> Tuple[Set[int], Set[int]]:
+    """(read_lines, write_lines) of a *software* commit of ``block``.
+
+    STM bookkeeping differs from the hardware engine's: ``add`` is a
+    read-modify-write through the redo log (the address joins both
+    sets, where the hardware's store-intent AGSI marks only the write
+    line), and ``ntstg`` is a raw coherent store that joins neither
+    logged set. No speculative prefetching exists on the software path,
+    so both sets are exact regardless of the case's speculation flag.
+    """
+    mask = ~(line_size - 1)
+    reads: Set[int] = set()
+    writes: Set[int] = set()
+    for op in block["ops"]:
+        kind = op[0]
+        if kind == "write":
+            writes.add(op[1] & mask)
+        elif kind == "read":
+            reads.add(op[1] & mask)
+            writes.add(op[2] & mask)
+        elif kind == "add":
+            reads.add(op[1] & mask)
+            writes.add(op[1] & mask)
+        elif kind == "copy":
+            reads.add(op[1] & mask)
+            writes.add(op[2] & mask)
+    return reads, writes
+
+
 def static_footprint(block: Dict[str, Any],
                      line_size: int) -> Tuple[Set[int], Set[int]]:
     """(read_lines, write_lines) of the block's *committing* attempt.
@@ -222,14 +286,26 @@ def validate_case(case: Dict[str, Any]) -> None:
     # and fully validated — by repro.core.footprint.make_policy.
     if not isinstance(case.get("footprint_policy", ""), str):
         raise ConfigurationError("footprint_policy must be a spec string")
+    fallback_mode = case.get("fallback_mode", "")
+    if fallback_mode not in ("", "lock", "stm"):
+        raise ConfigurationError(
+            f"fallback_mode must be '', 'lock' or 'stm', "
+            f"not {fallback_mode!r}"
+        )
     seen_ids: Set[int] = set()
+    has_hybrid = False
     for program in case["programs"]:
         for event in program:
             kind = event[0]
             if kind == "tx":
                 _validate_block(event[1], seen_ids)
+                has_hybrid = has_hybrid or event[1]["mode"] == "hybrid"
             elif kind not in PLAIN_EVENTS:
                 raise ConfigurationError(f"unknown event kind {kind!r}")
+    if has_hybrid and fallback_mode != "stm":
+        raise ConfigurationError(
+            "hybrid blocks require the case to pin fallback_mode='stm'"
+        )
 
 
 def _validate_block(block: Dict[str, Any], seen_ids: Set[int]) -> None:
@@ -237,10 +313,32 @@ def _validate_block(block: Dict[str, Any], seen_ids: Set[int]) -> None:
         raise ConfigurationError(f"duplicate block id {block['id']}")
     seen_ids.add(block["id"])
     mode, fate = block["mode"], block["fate"]
-    if mode not in ("tbegin", "tbeginc"):
+    if mode not in ("tbegin", "tbeginc", "hybrid"):
         raise ConfigurationError(f"unknown mode {mode!r}")
     if fate not in FATES:
         raise ConfigurationError(f"unknown fate {fate!r}")
+    if mode == "hybrid":
+        if block.get("nest"):
+            raise ConfigurationError("hybrid blocks cannot nest")
+        if not isinstance(block.get("hw_fault"), bool):
+            raise ConfigurationError("hybrid blocks need a bool hw_fault")
+        if not (1 <= block.get("max_retries", 0) <= 6):
+            raise ConfigurationError(
+                "hybrid blocks need max_retries in 1..6"
+            )
+        if fate == "doomed" and not block["hw_fault"]:
+            raise ConfigurationError(
+                "a doomed hybrid block must fault every hardware attempt"
+            )
+        for op in block["ops"]:
+            if op[0] == "etnd":
+                raise ConfigurationError(
+                    "etnd reports hardware nesting depth; not valid in "
+                    "hybrid blocks"
+                )
+            if op[0] not in TX_OPS:
+                raise ConfigurationError(f"unknown tx op {op[0]!r}")
+        return
     if fate != "commit" and block.get("fault") not in FAULTS:
         raise ConfigurationError("non-commit blocks need a fault kind")
     if mode == "tbeginc":

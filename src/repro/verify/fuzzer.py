@@ -65,6 +65,7 @@ def fuzz(
     max_failures: int = 5,
     on_progress: Optional[Callable[[int, Optional[Failure]], None]] = None,
     footprint_policy: Optional[str] = None,
+    fallback_mode: str = "",
 ) -> FuzzReport:
     """Run the fuzzer for ``n_cases`` cases and/or ``seconds`` seconds.
 
@@ -77,6 +78,11 @@ def fuzz(
     failure replays under it regardless of the replaying machine's
     environment. ``None`` leaves cases unpinned (engine-side resolution,
     including ``$REPRO_FOOTPRINT_POLICY``, applies).
+
+    ``fallback_mode="stm"`` fuzzes *hybrid* histories: generated cases
+    pin the stm fallback, contain retry-exhausting hybrid blocks, and
+    the oracles check the merged hardware/software commit order (see
+    :func:`~repro.verify.generator.generate_case`).
     """
     if n_cases is None and seconds is None:
         raise ValueError("pass n_cases and/or seconds")
@@ -92,7 +98,7 @@ def fuzz(
         if len(report.failures) >= max_failures:
             break
         this_seed = case_seed(seed, index)
-        case = generate_case(this_seed)
+        case = generate_case(this_seed, fallback_mode)
         if footprint_policy is not None:
             # Survives shrinking (shrink_case deep-copies whole cases)
             # and archiving (validate_case ignores unknown keys).

@@ -63,7 +63,16 @@ class _Private:
         return addr
 
 
-def generate_case(seed: int) -> Dict[str, Any]:
+def generate_case(seed: int, fallback_mode: str = "") -> Dict[str, Any]:
+    """Generate the deterministic case for ``seed``.
+
+    ``fallback_mode="stm"`` generates *hybrid* cases: the case pins
+    ``fallback_mode`` and blocks may draw the retry-exhausting hybrid
+    shape, so software (STM) commits interleave with hardware commits.
+    The default (and ``"lock"``) keeps the historical byte-identical
+    case stream — the hybrid branch consumes no RNG draws then.
+    """
+    hybrid = fallback_mode == "stm"
     rng = random.Random(seed)
     tokens = _Tokens()
     n_cpus = rng.randint(2, 4)
@@ -84,7 +93,7 @@ def generate_case(seed: int) -> Dict[str, Any]:
             if rng.random() < 0.65:
                 events.append(
                     ["tx", _gen_block(rng, tokens, pool, private,
-                                      next_block_id)]
+                                      next_block_id, hybrid=hybrid)]
                 )
             else:
                 events.append(_gen_plain(rng, tokens, pool, private))
@@ -110,8 +119,26 @@ def generate_case(seed: int) -> Dict[str, Any]:
         "max_cycles": DEFAULT_MAX_CYCLES,
         "programs": programs,
     }
+    if hybrid:
+        case["fallback_mode"] = "stm"
+        if not any(block["mode"] == "hybrid"
+                   for _c, _i, block in _blocks_of(programs)):
+            # Guarantee at least one software-path block per hybrid case.
+            private = _Private(0)
+            private._offset = 0x1000  # clear of cpu 0's existing slots
+            programs[0].append(
+                ["tx", _gen_hybrid_block(rng, tokens, pool, private,
+                                         next_block_id)]
+            )
     validate_case(case)
     return case
+
+
+def _blocks_of(programs: List[List[Any]]):
+    for cpu, program in enumerate(programs):
+        for index, event in enumerate(program):
+            if event[0] == "tx":
+                yield cpu, index, event[1]
 
 
 def _gen_plain(rng: random.Random, tokens: _Tokens, pool: List[int],
@@ -160,9 +187,68 @@ def _gen_ops(rng: random.Random, tokens: _Tokens, pool: List[int],
     return ops
 
 
+def _gen_hybrid_block(rng: random.Random, tokens: _Tokens, pool: List[int],
+                      private: _Private,
+                      next_block_id: List[int]) -> Dict[str, Any]:
+    bid = next_block_id[0]
+    next_block_id[0] += 1
+    roll = rng.random()
+    if roll < 0.6:
+        fate = "commit"
+    elif roll < 0.85:
+        fate = "abort_once"
+    else:
+        fate = "doomed"
+    # hw_fault forces deterministic retry exhaustion (the block can only
+    # commit through the STM); otherwise the hardware body races the
+    # fallback and either path may commit.
+    hw_fault = True if fate == "doomed" else rng.random() < 0.6
+    ntstg_slot = None
+    fault_token = 0
+    canary = None
+    if fate != "commit":
+        if rng.random() < 0.7:
+            ntstg_slot = private.take_hidden()
+            fault_token = tokens.take()
+        if rng.random() < 0.7:
+            canary = private.take_hidden()
+            if not fault_token:
+                fault_token = tokens.take()
+    ops = []
+    for _ in range(rng.randint(1, 4)):
+        r = rng.random()
+        if r < 0.3:
+            ops.append(["write", rng.choice(pool), tokens.take()])
+        elif r < 0.55:
+            ops.append(["read", rng.choice(pool), private.take()])
+        elif r < 0.75:
+            ops.append(["add", rng.choice(pool), rng.randint(1, 7)])
+        elif r < 0.9:
+            ops.append(["copy", rng.choice(pool), rng.choice(pool)])
+        else:
+            ops.append(["ntstg", private.take(), tokens.take()])
+    return {
+        "id": bid,
+        "mode": "hybrid",
+        "fate": fate,
+        "fault": None,
+        "pifc": 0,
+        "nest": None,
+        "hw_fault": hw_fault,
+        "max_retries": rng.randint(1, 3),
+        "ntstg_slot": ntstg_slot,
+        "fault_token": fault_token,
+        "canary": canary,
+        "ops": ops,
+    }
+
+
 def _gen_block(rng: random.Random, tokens: _Tokens, pool: List[int],
                private: _Private, next_block_id: List[int],
-               force_commit: bool = False) -> Dict[str, Any]:
+               force_commit: bool = False,
+               hybrid: bool = False) -> Dict[str, Any]:
+    if hybrid and rng.random() < 0.35:
+        return _gen_hybrid_block(rng, tokens, pool, private, next_block_id)
     bid = next_block_id[0]
     next_block_id[0] += 1
     if not force_commit and rng.random() < 0.2:

@@ -35,7 +35,7 @@ from typing import Any, Dict, List
 from ..cpu import isa
 from ..cpu.assembler import Program, assemble
 from ..cpu.isa import Mem
-from .dsl import MAX_DOOMED_ATTEMPTS, tabort_code
+from .dsl import MAX_DOOMED_ATTEMPTS, sabort_code, tabort_code
 
 #: Attempts after which a fault path stops firing for abort-once blocks.
 _ALWAYS = 1 << 20
@@ -48,11 +48,15 @@ class LoweredProgram:
     program: Program
     #: Outermost TBEGIN/TBEGINC address -> block dict.
     blocks_by_tbegin: Dict[int, Dict[str, Any]]
+    #: SBEGIN address -> hybrid block dict (``sw_commit``/``sw_abort``
+    #: log entries carry the SBEGIN address in the tbegin_ia slot).
+    blocks_by_sbegin: Dict[int, Dict[str, Any]]
 
 
 def lower_program(cpu: int, events: List[Any]) -> LoweredProgram:
     items: List[Any] = []
     tbegin_labels: Dict[str, Dict[str, Any]] = {}
+    sbegin_labels: Dict[str, Dict[str, Any]] = {}
     for event in events:
         kind = event[0]
         if kind == "pstore":
@@ -71,14 +75,24 @@ def lower_program(cpu: int, events: List[Any]) -> LoweredProgram:
         elif kind == "pause":
             items.append(isa.PAUSE(event[1]))
         elif kind == "tx":
-            _lower_block(cpu, event[1], items, tbegin_labels)
+            block = event[1]
+            if block["mode"] == "hybrid":
+                _lower_hybrid_block(cpu, block, items, tbegin_labels,
+                                    sbegin_labels)
+            else:
+                _lower_block(cpu, block, items, tbegin_labels)
     items.append(isa.HALT())
     program = assemble(items)
     blocks_by_tbegin = {
         program.labels[label]: block
         for label, block in tbegin_labels.items()
     }
-    return LoweredProgram(program=program, blocks_by_tbegin=blocks_by_tbegin)
+    blocks_by_sbegin = {
+        program.labels[label]: block
+        for label, block in sbegin_labels.items()
+    }
+    return LoweredProgram(program=program, blocks_by_tbegin=blocks_by_tbegin,
+                          blocks_by_sbegin=blocks_by_sbegin)
 
 
 def _emit_op(op: List[Any], items: List[Any]) -> None:
@@ -100,6 +114,94 @@ def _emit_op(op: List[Any], items: List[Any]) -> None:
     elif kind == "etnd":
         items.append(isa.ETND(2))
         items.append(isa.STG(2, Mem(disp=op[1])))
+
+
+def _lower_hybrid_block(cpu: int, block: Dict[str, Any], items: List[Any],
+                        tbegin_labels: Dict[str, Dict[str, Any]],
+                        sbegin_labels: Dict[str, Dict[str, Any]]) -> None:
+    """The retry-exhausting hybrid shape (see the module docstring of
+    :mod:`repro.sync.retry` for the production harness this mirrors):
+
+    .. code-block:: text
+
+            LHI   r8, 0            ; hardware attempt counter
+            LHI   r9, 0            ; software attempt counter
+      loop: TBEGIN grsm=0xFF
+            BRC   7, retry
+            <hw_fault: TABORT | else: ops>
+            TEND
+            J     done
+     retry: BRC   1, fb           ; CC3: permanent, no point retrying
+            AHI   r8, 1
+            CIJNL r8, max_retries, fb
+            PPA   r8
+            J     loop
+        fb: SBEGIN                 ; software path (STM)
+            BRC   7, sretry        ; StmAbort resumes here with CC2
+            <sw fault path: canary store, NTSTG, SABORT>
+        go: <ops>
+            SEND
+            J     done
+    sretry: AHI   r9, 1
+            CIJNL r9, MAX, done    ; doomed blocks only: give up
+            PPA   r9
+            J     fb
+      done:
+
+    Registers as in :func:`_lower_block`, plus r9 for the software
+    attempt counter — both live outside the transactions, and the
+    software path's :class:`~repro.stm.StmAbort` restores the
+    SBEGIN-time snapshot, so the counters survive every abort.
+    """
+    bid = block["id"]
+    p = f"c{cpu}b{bid}"
+    fate = block["fate"]
+    n_sw_faults = {"commit": 0, "abort_once": 1, "doomed": _ALWAYS}[fate]
+    items.append(isa.LHI(8, 0))
+    items.append(isa.LHI(9, 0))
+    items.append(f"{p}_loop")
+    items.append((f"{p}_begin", isa.TBEGIN(grsm=0xFF)))
+    tbegin_labels[f"{p}_begin"] = block
+    items.append(isa.BRC(7, f"{p}_retry"))
+    if block["hw_fault"]:
+        items.append(isa.TABORT(tabort_code(bid)))
+    else:
+        for op in block["ops"]:
+            _emit_op(op, items)
+    items.append(isa.TEND())
+    items.append(isa.J(f"{p}_done"))
+    items.append((f"{p}_retry", isa.BRC(1, f"{p}_fb")))
+    items.append(isa.AHI(8, 1))
+    items.append(isa.CIJNL(8, block["max_retries"], f"{p}_fb"))
+    items.append(isa.PPA(8))
+    items.append(isa.J(f"{p}_loop"))
+    items.append((f"{p}_fb", isa.SBEGIN()))
+    sbegin_labels[f"{p}_fb"] = block
+    items.append(isa.BRC(7, f"{p}_sretry"))
+    if n_sw_faults:
+        items.append(isa.CIJNL(9, n_sw_faults, f"{p}_go"))
+        canary = block.get("canary")
+        if canary is not None:
+            # A redo-log store on an attempt that always aborts: STM
+            # abort invisibility means it can never reach memory.
+            items.append(isa.LHI(3, block["fault_token"]))
+            items.append(isa.STG(3, Mem(disp=canary)))
+        slot = block.get("ntstg_slot")
+        if slot is not None:
+            items.append(isa.LHI(3, block["fault_token"]))
+            items.append(isa.NTSTG(3, Mem(disp=slot)))
+        items.append(isa.SABORT(sabort_code(bid)))
+        items.append(f"{p}_go")
+    for op in block["ops"]:
+        _emit_op(op, items)
+    items.append(isa.SEND())
+    items.append(isa.J(f"{p}_done"))
+    items.append((f"{p}_sretry", isa.AHI(9, 1)))
+    if fate == "doomed":
+        items.append(isa.CIJNL(9, MAX_DOOMED_ATTEMPTS, f"{p}_done"))
+    items.append(isa.PPA(9))
+    items.append(isa.J(f"{p}_fb"))
+    items.append(f"{p}_done")
 
 
 def _lower_block(cpu: int, block: Dict[str, Any], items: List[Any],

@@ -21,6 +21,15 @@ The checks, in order:
 6. committed read/write line sets match the block's static footprint —
    write sets exactly; read sets exactly with speculation off, as a
    superset with speculative prefetching on.
+
+Hybrid-TM cases add *mixed histories*: ``sw_commit``/``sw_abort`` log
+entries from software (STM) transactions interleave with hardware
+entries in the one serialization order, and the same replay oracle runs
+over the merged commit order — a hybrid block counts as committed
+whether its hardware body or its software fallback got there, software
+canaries must stay invisible (STM redo-log abort), software NTSTGs
+survive SABORTs, and software footprints check against the STM's
+bookkeeping (exact, even with speculation on).
 """
 
 from __future__ import annotations
@@ -37,7 +46,9 @@ from ..sim.metrics import MetricsRegistry
 from ..sim.results import SimResult
 from .dsl import (
     iter_blocks,
+    sabort_code,
     static_footprint,
+    static_footprint_sw,
     tabort_code,
     tracked_addresses,
     validate_case,
@@ -48,13 +59,16 @@ from .reference import ReplayError, replay
 
 
 def case_params(n_cpus: int, speculation: bool,
-                footprint_policy: str = "") -> MachineParams:
+                footprint_policy: str = "",
+                fallback_mode: str = "") -> MachineParams:
     """Small-topology machine parameters for verify runs.
 
     ``footprint_policy`` pins the case to one footprint-policy spec; the
     empty default leaves resolution to the engine (params field, then
     ``$REPRO_FOOTPRINT_POLICY``, then ``"zec12"``), so an env override
     runs the whole oracle suite under an alternative policy.
+    ``fallback_mode`` pins the hybrid-TM fallback mode the same way
+    (cases with hybrid blocks always pin ``"stm"``).
     """
     cores = max(2, n_cpus)
     return dataclasses.replace(
@@ -66,6 +80,7 @@ def case_params(n_cpus: int, speculation: bool,
         ),
         speculation=speculation,
         footprint_policy=footprint_policy,
+        fallback_mode=fallback_mode,
     )
 
 
@@ -86,7 +101,8 @@ def run_case(case: Dict[str, Any]) -> CaseOutcome:
         for cpu, events in enumerate(case["programs"])
     ]
     machine = Machine(case_params(case["n_cpus"], case["speculation"],
-                                  case.get("footprint_policy", "")))
+                                  case.get("footprint_policy", ""),
+                                  case.get("fallback_mode", "")))
     for lp in lowered:
         machine.add_program(lp.program)
     for addr, value in case["init"]:
@@ -128,9 +144,12 @@ def check_outcome(case: Dict[str, Any],
 
     line_size = outcome.machine.params.line_size
     block_at: Dict[Tuple[int, int], Dict[str, Any]] = {}
+    sw_block_at: Dict[Tuple[int, int], Dict[str, Any]] = {}
     for cpu, lp in enumerate(outcome.lowered):
         for ia, block in lp.blocks_by_tbegin.items():
             block_at[(cpu, ia)] = block
+        for ia, block in lp.blocks_by_sbegin.items():
+            sw_block_at[(cpu, ia)] = block
     position_of = {
         block["id"]: (cpu, index) for cpu, index, block in iter_blocks(case)
     }
@@ -142,6 +161,42 @@ def check_outcome(case: Dict[str, Any],
         cpu, kind, tbegin_ia, _end_ia, code, constrained, rlines, wlines = (
             entry
         )
+        if kind in ("sw_commit", "sw_abort"):
+            # Software (STM) entries carry the SBEGIN address in the
+            # tbegin_ia slot and can only come from hybrid blocks.
+            block = sw_block_at.get((cpu, tbegin_ia))
+            if block is None:
+                violations.append(
+                    f"{kind} entry for cpu {cpu} references unknown "
+                    f"SBEGIN address 0x{tbegin_ia:x}"
+                )
+                continue
+            bid = block["id"]
+            if kind == "sw_abort":
+                if block["fate"] != "commit" and code == sabort_code(bid):
+                    fault_aborted.add(bid)
+                continue
+            commit_counts[bid] += 1
+            if block["fate"] == "doomed":
+                violations.append(
+                    f"doomed hybrid block {bid} committed in software"
+                )
+                continue
+            commit_order.append(position_of[bid])
+            reads, writes = static_footprint_sw(block, line_size)
+            if sorted(writes) != wlines:
+                violations.append(
+                    f"hybrid block {bid}: software-committed write lines "
+                    f"{wlines} != static footprint {sorted(writes)}"
+                )
+            # The software path never prefetches speculatively, so the
+            # logged read set is exact even with speculation on.
+            if sorted(reads) != rlines:
+                violations.append(
+                    f"hybrid block {bid}: software-committed read lines "
+                    f"{rlines} != static footprint {sorted(reads)}"
+                )
+            continue
         block = block_at.get((cpu, tbegin_ia))
         if block is None:
             violations.append(
@@ -180,6 +235,11 @@ def check_outcome(case: Dict[str, Any],
                     f"architected load footprint {sorted(reads)}"
                 )
         else:
+            if block.get("mode") == "hybrid":
+                # Hardware aborts of hybrid blocks are retry-exhaustion
+                # TABORTs (or genuine conflicts); the fault furniture
+                # lives on the software path, attributed via sw_abort.
+                continue
             if block["fate"] != "commit" and code in _fault_codes(block):
                 fault_aborted.add(bid)
 

@@ -27,7 +27,7 @@ random-number generation overhead is excluded, as in the paper.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from ..cpu.assembler import Program, assemble
 from ..cpu.isa import (
@@ -100,7 +100,12 @@ def _read_vars(layout: PoolLayout, n_vars: int) -> List:
             for reg in OFFSET_REGISTERS[:n_vars]]
 
 
-def _critical_section(scheme: str, layout: PoolLayout, n_vars: int) -> List:
+def _critical_section(
+    scheme: str,
+    layout: PoolLayout,
+    n_vars: int,
+    fallback_mode: Optional[str] = None,
+) -> List:
     update = _update_vars(layout, n_vars)
     if scheme == "none":
         return update
@@ -122,7 +127,8 @@ def _critical_section(scheme: str, layout: PoolLayout, n_vars: int) -> List:
         return acquire_lock(lock, "cs") + update + release_lock(lock)
     if scheme == "tbegin":
         return transaction_with_fallback(
-            update, layout.coarse_lock, prefix="cs"
+            update, layout.coarse_lock, prefix="cs",
+            fallback_mode=fallback_mode,
         )
     if scheme == "tbeginc":
         return constrained_transaction(update)
@@ -142,11 +148,18 @@ def build_update_program(
     layout: PoolLayout,
     n_vars: int = 1,
     iterations: int = 50,
+    fallback_mode: Optional[str] = None,
 ) -> Program:
     """Build one CPU's benchmark program.
 
     The loop body is: pick variables (unmeasured), MARK_START, critical
     section per ``scheme``, MARK_END, decrement the iteration counter.
+
+    ``fallback_mode`` selects the ``tbegin`` scheme's exhausted-retry
+    path (see :func:`~repro.sync.retry.transaction_with_fallback`); the
+    default ``None`` resolves from ``$REPRO_FALLBACK_MODE``. Callers
+    that build the machine from explicit params should pass the params'
+    resolved mode so program emission and engine behaviour agree.
     """
     if n_vars not in (1, 4):
         raise ConfigurationError("the paper updates either 1 or 4 variables")
@@ -155,7 +168,7 @@ def build_update_program(
     items: List = [LHI(COUNTER_REGISTER, iterations), "loop"]
     items += _pick_variables(layout, n_vars)
     items.append(MARK_START())
-    items += _critical_section(scheme, layout, n_vars)
+    items += _critical_section(scheme, layout, n_vars, fallback_mode)
     items.append(MARK_END())
     items.append(AHI(COUNTER_REGISTER, -1))
     items.append(JNZ("loop"))

@@ -113,7 +113,9 @@ class EngineHarness:
         )
 
     def tend(self, cpu: int = 0) -> int:
-        latency, depth = self.engines[cpu].tx_end(0)
+        # tx_end can raise FetchRetry in stm fallback mode: the hybrid
+        # publication step fetches orec/clock lines at the outermost TEND.
+        latency, depth = self._retry(lambda: self.engines[cpu].tx_end(0))
         self.clock[0] += latency
         return depth
 

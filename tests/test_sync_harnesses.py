@@ -266,6 +266,68 @@ class TestRetryExhaustion:
         assert machine.memory.read_int(LOCK.disp, 8) == 0
 
 
+class TestHangCounterExhaustion:
+    """Retry exhaustion driven by *real* contention: XI stiff-arm
+    escalation and conflict aborts, not injected TABORTs (those are
+    :class:`TestRetryExhaustion`'s job)."""
+
+    def test_conflict_aborts_exhaust_into_fallback(self):
+        import dataclasses
+        from collections import Counter
+
+        from repro.cpu.isa import NOPR
+        from repro.sim.metrics import MetricsRegistry
+
+        data2, fb_counter = 0x10100, 0x18000
+        # An aggressive hang-avoidance threshold: two rejected XIs
+        # without forward progress abort the stiff-arming holder.
+        params = dataclasses.replace(
+            ZEC12, tx=dataclasses.replace(ZEC12.tx, xi_reject_threshold=2)
+        )
+        # A long window across two hot lines, so concurrent updaters
+        # conflict for real; one retry only, so conflicts exhaust fast.
+        body = [
+            AGSI(Mem(disp=DATA), 1),
+            *[NOPR()] * 6,
+            AGSI(Mem(disp=data2), 1),
+        ]
+        harness = transaction_with_fallback(
+            body, LOCK, "h",
+            fallback_body=[
+                AGSI(Mem(disp=fb_counter), 1),
+                AGSI(Mem(disp=DATA), 1),
+                AGSI(Mem(disp=data2), 1),
+            ],
+            max_retries=1,
+        )
+        machine = Machine(params)
+        program = assemble([*counted_loop(harness, 10), HALT()])
+        for _ in range(4):
+            machine.add_program(program)
+        registry = MetricsRegistry().attach(machine)
+        result = machine.run()
+
+        assert not result.aborted_early
+        # Atomicity holds across the transactional and lock paths.
+        assert machine.memory.read_int(DATA, 8) == 40
+        assert machine.memory.read_int(data2, 8) == 40
+        assert machine.memory.read_int(LOCK.disp, 8) == 0
+        # The fallback demonstrably ran: conflicts, not TABORTs, pushed
+        # CPUs past their retry budget.
+        assert machine.memory.read_int(fb_counter, 8) > 0
+        assert sum(c.xi_rejects for c in result.cpus) > 0
+        causes: Counter = Counter()
+        hang: Counter = Counter()
+        for cpu in registry.cpus:
+            causes.update(cpu.abort_causes)
+            hang.update(cpu.hang_counter_at_abort)
+        conflicts = causes["FETCH_CONFLICT"] + causes["STORE_CONFLICT"]
+        assert conflicts > 0
+        # At least one abort fired *at* the hang-avoidance threshold:
+        # the hang counter, not a fault, ended that transaction.
+        assert hang[params.tx.xi_reject_threshold] >= 1
+
+
 class TestPpaBackoff:
     """The PPA delay policy behind the harness's inter-retry pacing."""
 
