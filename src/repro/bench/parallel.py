@@ -88,6 +88,7 @@ def result_to_payload(result: SimResult) -> Dict[str, Any]:
         "cycles": result.cycles,
         "aborted_early": result.aborted_early,
         "metrics": result.metrics,
+        "sched": result.sched,
         "cpus": [
             {
                 "cpu_id": c.cpu_id,
@@ -114,6 +115,7 @@ def result_from_payload(payload: Dict[str, Any]) -> Any:
         aborted_early=payload["aborted_early"],
         cpus=[CpuResult(**cpu) for cpu in payload["cpus"]],
         metrics=payload.get("metrics"),
+        sched=payload.get("sched"),
     )
 
 
@@ -127,12 +129,15 @@ def result_from_payload(payload: Dict[str, Any]) -> Any:
 #: ``SimResult.sched`` counter block; v5: pluggable footprint policies —
 #: keys carry the *resolved* policy spec; v6: hybrid-TM fallback modes —
 #: ``CpuResult`` grows ``sw_committed``/``sw_aborted`` and keys carry the
-#: *resolved* fallback mode).
+#: *resolved* fallback mode; v7: virtual sequence numbering — the
+#: ``SimResult.sched`` block gains the event-composition split and its
+#: counters depend on the resolved ``$REPRO_VIRTSEQ`` mode, which the
+#: keys carry explicitly).
 #: Bumped whenever the stored-result format or the memory/store-cache
 #: semantics change in a way the source hash alone should not be trusted
 #: to catch (e.g. a rename-only refactor that keeps byte-identical
 #: sources elsewhere, or an external cache shared across checkouts).
-DATA_PLANE_VERSION = 6
+DATA_PLANE_VERSION = 7
 
 _CODE_VERSION: Optional[str] = None
 
@@ -191,7 +196,11 @@ def task_key(kind: str, experiment: Any, params: MachineParams,
     ``$REPRO_FOOTPRINT_POLICY``, which ``asdict(params)`` cannot see —
     without this, a cache written under one policy would be served to
     runs under another. The resolved hybrid-TM fallback mode is keyed
-    the same way (``$REPRO_FALLBACK_MODE``).
+    the same way (``$REPRO_FALLBACK_MODE``). The resolved
+    ``$REPRO_VIRTSEQ`` mode is keyed too: the architected result is
+    bit-identical either way, but the ``SimResult.sched``
+    event-composition counters are not, so an entry written under one
+    mode must never satisfy a run observing the other.
     """
     blob = json.dumps(
         {
@@ -200,6 +209,7 @@ def task_key(kind: str, experiment: Any, params: MachineParams,
             "params": asdict(params),
             "footprint_policy": resolve_policy_spec(params),
             "fallback_mode": resolve_fallback_mode(params),
+            "virtseq": os.environ.get("REPRO_VIRTSEQ", "1") != "0",
             "code": code_version(),
             "data_plane": DATA_PLANE_VERSION,
             "python": f"{sys.version_info[0]}.{sys.version_info[1]}",

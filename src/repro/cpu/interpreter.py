@@ -142,7 +142,7 @@ class _ParkedSpin:
     is_retry = False
 
     __slots__ = ("line", "block", "period", "ias", "lats", "states",
-                 "load_pos", "count", "pos", "steps", "loads")
+                 "load_pos", "count", "nxt", "pos", "steps")
 
     def __init__(self, line: int, block: int, period: int, ias: List[int],
                  lats: List[int], states: list, load_pos: int,
@@ -159,11 +159,17 @@ class _ParkedSpin:
         self.states = states
         self.load_pos = load_pos
         self.count = count
-        #: Next instruction index in the cycle, and the elided
-        #: instruction / watched-line load counts accumulated so far.
+        #: Successor-position table: ``nxt[j]`` is the cyclic j + 1 —
+        #: the scheduler's per-event advance indexes it instead of
+        #: branching on the wrap.
+        self.nxt = list(range(1, count)) + [0]
+        #: Next instruction index in the cycle and the elided
+        #: instruction count accumulated so far. Watched-line loads are
+        #: not tracked per event: consumption positions are strictly
+        #: sequential from 0, so the count is closed-form from ``steps``
+        #: at unpark.
         self.pos = 0
         self.steps = 0
-        self.loads = 0
 
 
 class _ParkedRetry:
@@ -820,10 +826,16 @@ class IsaCpu:
         self._spin_rec = None
         engine = self.engine
         engine.clear_spin_watch()
-        if rec.steps:
-            self.stats_instructions += rec.steps
-            if rec.loads:
-                engine.spin_replay_loads(rec.line, rec.loads)
+        steps = rec.steps
+        if steps:
+            self.stats_instructions += steps
+            # Event j consumed cycle position (j - 1) % count, starting
+            # from 0 — the watched-line load count is the number of
+            # times position ``load_pos`` came up.
+            load_pos = rec.load_pos
+            if steps > load_pos:
+                loads = (steps - 1 - load_pos) // rec.count + 1
+                engine.spin_replay_loads(rec.line, loads)
         psw = self._psw
         j = rec.pos
         gr_values, cc = rec.states[j]

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Optional
 
 
 class XiType(enum.Enum):
@@ -125,3 +126,28 @@ class LineWatchTable:
             cpus.discard(cpu)
             if not cpus:
                 del self.retry_by_block[watched[1]]
+
+    def describe(self, cpu: int, off_queue: bool = False) -> Optional[str]:
+        """One-line diagnostic for a parked CPU's registration, or None
+        if the CPU watches nothing in either role.
+
+        ``off_queue=True`` marks a waiter whose pending scheduler event
+        is currently de-materialized (virtual sequence numbering keeps
+        parked chains out of the event queue entirely) — the deadlock
+        diagnostic still names the watched block either way, because
+        this table, not the event queue, is the ground truth for what a
+        parked CPU is waiting on.
+        """
+        watched = self.by_cpu.get(cpu)
+        role = "parked"
+        if watched is None:
+            watched = self.retry_by_cpu.get(cpu)
+            role = "retry-parked"
+        if watched is None:
+            return None
+        line, block = watched
+        tail = ", head off-queue" if off_queue else ""
+        return (
+            f"cpu {cpu} {role} on block 0x{block:x} "
+            f"(line 0x{line:x}{tail})"
+        )

@@ -411,7 +411,9 @@ _SCHED_KEYS = ("parks", "wakes", "retry_parks", "retry_wakes",
                "retry_ticks", "spin_steps", "events",
                "heap_elides", "heap_elided_steps",
                "pushpop_fusions", "broadcast_stops",
-               "calendar_resizes", "bucket_max_occupancy")
+               "calendar_resizes", "bucket_max_occupancy",
+               "virtual_events", "fast_forwarded_events",
+               "queue_switches")
 
 #: Scheduler keys that are high-water marks (merged by max, not sum).
 _SCHED_MAX_KEYS = frozenset(("bucket_max_occupancy",))

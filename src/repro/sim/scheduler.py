@@ -31,6 +31,24 @@ Three special behaviours:
   are deferred ("millicode can broadcast to other CPUs to stop all
   conflicting work, retry the local transaction, before releasing the
   other CPUs").
+
+**Virtual sequence numbering** (default on, ``REPRO_VIRTSEQ=0`` opts
+out): parked CPUs' placeholder events are not materialized in the event
+queue at all. Each parked CPU instead keeps a *virtual head* — the
+``(time, seq)`` its pending event would carry — in a small side heap,
+and the scheduler processes the global minimum of the real queue and
+the virtual heads. Every virtual advance consumes exactly the sequence
+number the materialized push would have consumed, in the same order, so
+event times, tie-breaks and ``stats_events`` are bit-identical to the
+materialized path. Parked *spin* chains are pure arithmetic, so they
+fast-forward in closed form up to the next other event (or the cycle
+budget) in one step; parked *retry* chains still tick one event at a
+time (each tick touches live fabric state) but skip the queue entirely.
+A wake re-materializes the stored head into the real queue unchanged;
+engaging the broadcast-stop machinery re-materializes every head and
+falls back to the fully materialized path until the solo window closes.
+``REPRO_VIRTSEQ_CHECK=1`` replays runs against the materialized path
+(see :meth:`repro.sim.machine.Machine.run`).
 """
 
 from __future__ import annotations
@@ -77,6 +95,10 @@ class HeapEventQueue:
     def peek_time(self) -> Optional[int]:
         heap = self._heap
         return heap[0][0] if heap else None
+
+    def peek(self):
+        heap = self._heap
+        return heap[0] if heap else None
 
 
 class CalendarEventQueue:
@@ -206,13 +228,119 @@ class CalendarEventQueue:
             b = self._advance()
         return b[0][0]
 
+    def peek(self):
+        if not self.n:
+            return None
+        b = self.buckets[self.cur]
+        if not (b and b[0][0] < self.cur_end):
+            b = self._advance()
+        return b[0]
+
+
+class AdaptiveEventQueue:
+    """Occupancy-adaptive event queue: C ``heapq`` at low occupancy,
+    :class:`CalendarEventQueue` at high occupancy.
+
+    PR 6 measured the C heap still edging the calendar queue below
+    ~50-event occupancy — and under virtual sequence numbering the real
+    queue holds only the *unparked* CPUs' events, which on the contended
+    benchmarks is a handful. The queue starts on the heap;
+    :meth:`maybe_switch` (called by the scheduler loop on a fixed event
+    cadence, so it can re-bind its hoisted backend methods right after)
+    moves to the calendar above :data:`HIGH` occupancy and back to the
+    heap below :data:`LOW` — the gap between the thresholds is the
+    hysteresis band, so a queue hovering around one threshold cannot
+    thrash. The accessor methods are pure delegation: the scheduler's
+    hot paths bind the backend's methods directly and only the cold
+    call sites (wakes, deferrals) pay the indirection.
+    ``REPRO_HEAP_SCHED=1`` bypasses this class entirely (the scheduler
+    builds a bare heap). Both backends produce the identical
+    (time, seq) total order and a switch transfers every event, so pops
+    are bit-identical no matter when (or whether) a switch happens.
+    """
+
+    #: Sustained occupancy below which the heap takes over.
+    LOW = 64
+    #: Sustained occupancy above which the calendar takes over.
+    HIGH = 128
+
+    __slots__ = ("_impl", "_is_heap", "switches",
+                 "_resizes_base", "_max_occ_base")
+
+    def __init__(self) -> None:
+        self._impl = HeapEventQueue()
+        self._is_heap = True
+        #: Backend switches performed (surfaced as a scheduler stat).
+        self.switches = 0
+        self._resizes_base = 0
+        self._max_occ_base = 0
+
+    @property
+    def n(self) -> int:
+        return self._impl.n
+
+    @property
+    def resizes(self) -> int:
+        return self._resizes_base + self._impl.resizes
+
+    @property
+    def max_occupancy(self) -> int:
+        occ = self._impl.max_occupancy
+        return occ if occ > self._max_occ_base else self._max_occ_base
+
+    def _switch(self) -> None:
+        old = self._impl
+        new = CalendarEventQueue() if self._is_heap else HeapEventQueue()
+        while old.n:
+            new.push(old.pop())
+        self._resizes_base += old.resizes
+        if old.max_occupancy > self._max_occ_base:
+            self._max_occ_base = old.max_occupancy
+        self._impl = new
+        self._is_heap = not self._is_heap
+        self.switches += 1
+
+    def maybe_switch(self) -> bool:
+        """Switch backends if current occupancy crossed the hysteresis
+        band; returns True when a switch happened (the caller must then
+        re-bind any hoisted backend methods)."""
+        n = self._impl.n
+        if self._is_heap:
+            if n <= self.HIGH:
+                return False
+        elif n >= self.LOW:
+            return False
+        self._switch()
+        return True
+
+    def push(self, item) -> None:
+        self._impl.push(item)
+
+    def pop(self):
+        return self._impl.pop()
+
+    def pushpop(self, item):
+        return self._impl.pushpop(item)
+
+    def peek_time(self) -> Optional[int]:
+        return self._impl.peek_time()
+
+    def peek(self):
+        return self._impl.peek()
+
 
 class Scheduler:
     """Runs a set of drivers to completion in simulated time."""
 
-    def __init__(self, drivers: List) -> None:
+    def __init__(self, drivers: List, virtseq: Optional[bool] = None) -> None:
         self.drivers = drivers
         self.now = 0
+        #: Virtual sequence numbering (see the module docstring). The
+        #: explicit argument wins; otherwise ``REPRO_VIRTSEQ=0`` opts
+        #: out and the default is on.
+        if virtseq is None:
+            virtseq = os.environ.get("REPRO_VIRTSEQ") != "0"
+        self.virtseq = virtseq
         #: Optional hook called as ``pre_step(index, now)`` before each
         #: step — used by the machine for asynchronous-interruption
         #: injection.
@@ -255,6 +383,27 @@ class Scheduler:
         self.stats_heap_elides = 0
         self.stats_heap_elided_steps = 0
         self.stats_pushpop_fusions = 0
+        #: Events advanced off-queue under virtual sequence numbering
+        #: (each consumed exactly the sequence number its materialized
+        #: push would have; always 0 with ``virtseq`` off).
+        self.stats_virtual_events = 0
+        #: Subset of ``stats_virtual_events`` collapsed analytically in
+        #: closed-form spin fast-forwards of two or more events.
+        self.stats_fast_forwarded_events = 0
+        #: Virtual heads of parked CPUs: ``index -> [time, seq, index]``
+        #: (the pending event the materialized path would have queued),
+        #: plus the same lists on a heap for O(1) minimum access. Kept
+        #: strictly in sync: every list in ``_vheap`` is live in
+        #: ``_vmap`` (wakes remove eagerly and re-heapify).
+        self._vmap: dict = {}
+        self._vheap: list = []
+        #: CPU whose retry tick is being evaluated off-queue right now —
+        #: a wake for it must not re-materialize the stale head (the
+        #: drain pushes the tick's successor itself).
+        self._vtick_index: Optional[int] = None
+        #: Bumped by every successful :meth:`wake_parked`; the virtual
+        #: drain uses it to skip per-tick cache refreshes.
+        self._wake_gen = 0
         #: CPUs with an outstanding broadcast-stop request, maintained
         #: incrementally: engines request solo only during their own
         #: step, so observing after each step is complete.
@@ -262,11 +411,18 @@ class Scheduler:
         #: Solo index the broadcast-stop flags were last applied for
         #: ("idle" = never applied / cleared).
         self._stop_applied_for = "idle"
-        self._queue = (
-            HeapEventQueue()
-            if os.environ.get("REPRO_HEAP_SCHED") == "1"
-            else CalendarEventQueue()
-        )
+        # REPRO_HEAP_SCHED=1 still forces the bare heap. Otherwise the
+        # virtual-seq path (where the real queue holds only unparked
+        # CPUs' events, so occupancy is small and may change regime)
+        # auto-selects the backend by occupancy; the materialized
+        # opt-out keeps the static calendar queue whose pushpop the
+        # placeholder drain open-codes.
+        if os.environ.get("REPRO_HEAP_SCHED") == "1":
+            self._queue = HeapEventQueue()
+        elif self.virtseq:
+            self._queue = AdaptiveEventQueue()
+        else:
+            self._queue = CalendarEventQueue()
         self._deferred: List[Tuple[int, int]] = []
         for index in range(len(drivers)):
             self._push(0, index)
@@ -280,6 +436,11 @@ class Scheduler:
     @property
     def stats_bucket_max_occupancy(self) -> int:
         return self._queue.max_occupancy
+
+    @property
+    def stats_queue_switches(self) -> int:
+        """Adaptive-queue backend switches (0 for the static backends)."""
+        return getattr(self._queue, "switches", 0)
 
     @property
     def stats_events(self) -> int:
@@ -316,20 +477,39 @@ class Scheduler:
         # ``_solo_waiters`` is only ever mutated in place (add/discard),
         # so a local alias stays live across ``_solo_index`` calls.
         solo_waiters = self._solo_waiters
-        qpop = queue.pop
-        qpush = queue.push
-        qpushpop = queue.pushpop
-        qpeek = queue.peek_time
+        # Hot paths bind the *backend's* methods directly — for the
+        # adaptive queue that means its current impl, re-bound whenever
+        # the periodic maybe_switch() below fires (only the outer loop
+        # triggers switches, so the bindings cannot go stale mid-use;
+        # cold call sites like wakes go through the delegating wrapper
+        # and are always correct).
+        adaptive = queue if type(queue) is AdaptiveEventQueue else None
+        impl = queue._impl if adaptive is not None else queue
+        qpop = impl.pop
+        qpush = impl.push
+        qpushpop = impl.pushpop
+        qpeek = impl.peek_time
         # The drain loop below open-codes both backends' pushpop —
         # method-call overhead is measurable at ~1M parked events per
         # contended run.
-        cal = queue if type(queue) is CalendarEventQueue else None
-        heap_list = queue._heap if cal is None else None
+        cal = impl if type(impl) is CalendarEventQueue else None
+        heap_list = impl._heap if type(impl) is HeapEventQueue else None
         heap_pushpop = heapq.heappushpop
         parked_get = self._parked.get
         pre_step = self.pre_step
         perturb = self.perturb
         limit = max_cycles
+        qpeek_item = impl.peek
+        sw_i = 0
+        vheap = self._vheap
+        vmap = self._vmap
+        heappush = heapq.heappush
+        heapreplace = heapq.heapreplace
+        virt = self.virtseq
+        # Budget sentinel: comparisons against an int beat a None-check
+        # per event; 2**63 is beyond any simulated time.
+        limit_t = 0x7FFFFFFFFFFFFFFF if limit is None else limit
+        limit_p1 = limit_t + 1
         # Arm spin/retry elision on the drivers. Per-step hooks must
         # observe (pre_step) or perturb (jitter) every instruction
         # individually, so either one disables parking and batching; the
@@ -352,15 +532,396 @@ class Scheduler:
             fabric.wake_sink = self.wake_parked
         event = None
         while True:
+            if adaptive is not None:
+                # Occupancy-adaptive backend selection, checked on a
+                # fixed outer-loop cadence (cheap relative to the
+                # events between checks). A switch transfers every
+                # event in (time, seq) order, so pops stay
+                # bit-identical; the hoisted bindings are refreshed
+                # right here, before any of them is used again.
+                sw_i += 1
+                if not (sw_i & 1023) and adaptive.maybe_switch():
+                    impl = adaptive._impl
+                    qpop = impl.pop
+                    qpush = impl.push
+                    qpushpop = impl.pushpop
+                    qpeek = impl.peek_time
+                    qpeek_item = impl.peek
+                    cal = impl if type(impl) is CalendarEventQueue else None
+                    heap_list = (
+                        impl._heap if type(impl) is HeapEventQueue else None
+                    )
+            if event is not None and vheap:
+                vtop = vheap[0]
+                if vtop[0] < event[0] or (
+                    vtop[0] == event[0] and vtop[1] < event[1]
+                ):
+                    # A virtual head precedes the (fused) popped event:
+                    # hand the event back and drain virtually first.
+                    qpush(event)
+                    event = None
+            if vheap and (
+                solo_waiters or deferred or self._stop_applied_for != "idle"
+            ):
+                # Broadcast-stop machinery engaging: re-materialize
+                # every virtual head with its stored (time, seq) — the
+                # solo defer/time-warp logic then treats them like any
+                # other queued event (trivially bit-identical), and the
+                # surfaced parked events re-virtualize once the window
+                # closes.
+                for ventry in vheap:
+                    qpush((ventry[0], ventry[1], ventry[2]))
+                vheap.clear()
+                vmap.clear()
             if event is None:
-                if queue.n:
+                if vheap:
+                    rtop = qpeek_item()
+                    vtop = vheap[0]
+                    if rtop is not None and (
+                        rtop[0] < vtop[0]
+                        or (rtop[0] == vtop[0] and rtop[1] < vtop[1])
+                    ):
+                        event = qpop()
+                    else:
+                        # ---- virtual drain -------------------------------
+                        # The global minimum is a parked CPU's virtual
+                        # head. Advance heads off-queue — every advance
+                        # consumes exactly the sequence number its
+                        # materialized push would have, in the same
+                        # order — until a real event becomes the
+                        # minimum, a waking chain leaves, or the budget
+                        # is hit.
+                        if (
+                            self._n_active == 0
+                            and limit is None
+                            and self._n_retry_parked == 0
+                        ):
+                            self._raise_parked_deadlock()
+                        # The real-queue top and the per-drain counters
+                        # live in locals (written back on every exit):
+                        # at ~1M virtual events per contended run the
+                        # attribute and None-check overhead is the
+                        # dominant scheduler cost.
+                        if rtop is not None:
+                            rtop_t = rtop[0]
+                            rtop_s = rtop[1]
+                        else:
+                            rtop_t = 0x7FFFFFFFFFFFFFFF
+                            rtop_s = 0
+                        seq = self._seq
+                        # Every virtual event consumes exactly one seq,
+                        # so the virtual-event count is the seq delta —
+                        # no per-event counter needed in the hot loop.
+                        seq0 = seq
+                        ff_ev = 0
+                        wgen = self._wake_gen
+                        n_heads = len(vheap)
+                        while True:
+                            ventry = vheap[0]
+                            vtime = ventry[0]
+                            if rtop_t < vtime or (
+                                rtop_t == vtime and rtop_s < ventry[1]
+                            ):
+                                break
+                            if vtime > limit_t:
+                                self._seq = seq
+                                self.stats_virtual_events += seq - seq0
+                                self.stats_fast_forwarded_events += ff_ev
+                                return self._finish_budget(limit)
+                            lats = ventry[4]
+                            rec = ventry[3]
+                            if lats is None:
+                                vindex = ventry[2]
+                                # Heads drain in global time order, so
+                                # this store is monotone; ticks touch
+                                # the fabric, which observes the clock.
+                                self.now = vtime
+                                self._vtick_index = vindex
+                                # Open-coded :meth:`_retry_tick` (kept in
+                                # sync with the method, which the rarer
+                                # solo-engaged path still calls) — at
+                                # ~300k virtual ticks per contended run
+                                # the call overhead is measurable. The
+                                # single-pass ``while`` turns the
+                                # method's early returns into breaks.
+                                engine = rec.engine
+                                while True:
+                                    if (
+                                        engine.pending_abort is not None
+                                        or engine.stopped_by_broadcast
+                                        or engine.solo_requested
+                                        or engine._page_missing
+                                    ):
+                                        end = -1
+                                        break
+                                    exclusive = rec.exclusive
+                                    line = rec.line
+                                    entry = rec.l1_entries.get(line)
+                                    if entry is not None and (
+                                        not exclusive
+                                        or entry.state is Ownership.EXCLUSIVE
+                                    ):
+                                        end = -1
+                                        break
+                                    if engine._fetch_wait == rec.key:
+                                        info = rec.lines.get(line)
+                                        if info is None:
+                                            end = -1
+                                            break
+                                        if (
+                                            exclusive
+                                            and rec.cpu in info.ro_owners
+                                        ):
+                                            end = -1
+                                            break
+                                        l2_entry = rec.l2_entries.get(line)
+                                        if l2_entry is not None and (
+                                            not exclusive
+                                            or l2_entry.state
+                                            is Ownership.EXCLUSIVE
+                                        ):
+                                            end = -1
+                                            break
+                                        fabric = rec.fabric
+                                        if vtime < info.busy_until:
+                                            engine._fetch_wait = None
+                                            fabric.stats_fetches += 1
+                                            rec.ticks += 1
+                                            end = (
+                                                info.busy_until
+                                                if perturb is None
+                                                else vtime + perturb(
+                                                    vindex,
+                                                    info.busy_until - vtime,
+                                                )
+                                            )
+                                            break
+                                        owner = info.ex_owner
+                                        if owner < 0 or owner == rec.cpu:
+                                            end = -1
+                                            break
+                                        if not rec.ports[
+                                            owner
+                                        ].would_reject_xi(rec.xi_type, line):
+                                            end = -1
+                                            break
+                                        engine._fetch_wait = None
+                                        fabric.stats_fetches += 1
+                                        response, _extra = fabric._send_xi(
+                                            Xi(
+                                                rec.xi_type, line,
+                                                rec.cpu, owner,
+                                            )
+                                        )
+                                        if response is not XiResponse.REJECT:
+                                            raise ProtocolError(
+                                                "retry-park stiff-arm peek "
+                                                "diverged from delivery "
+                                                f"(line {line:#x}, "
+                                                f"owner {owner})"
+                                            )
+                                        fabric.stats_rejects += 1
+                                        rec.ticks += 1
+                                        end = vtime + (
+                                            rec.reject_lat
+                                            if perturb is None
+                                            else perturb(
+                                                vindex, rec.reject_lat
+                                            )
+                                        )
+                                        break
+                                    l2_entry = rec.l2_entries.get(line)
+                                    if l2_entry is not None and (
+                                        not exclusive
+                                        or l2_entry.state
+                                        is Ownership.EXCLUSIVE
+                                    ):
+                                        end = -1
+                                        break
+                                    cache = rec.probe_cache
+                                    memo = cache.get(line)
+                                    probe = (
+                                        memo.get((rec.cpu, exclusive))
+                                        if memo is not None
+                                        else None
+                                    )
+                                    if probe is None:
+                                        probe = (
+                                            rec.fabric._probe_latency_uncached(
+                                                rec.cpu, line, exclusive
+                                            )
+                                        )
+                                        if probe <= rec.l2_hit:
+                                            end = -1
+                                            break
+                                        if memo is None:
+                                            memo = cache[line] = {}
+                                        memo[(rec.cpu, exclusive)] = probe
+                                    else:
+                                        if probe <= rec.l2_hit:
+                                            end = -1
+                                            break
+                                        rec.fabric.probe_latency(
+                                            rec.cpu, line, exclusive
+                                        )
+                                    engine._fetch_wait = rec.key
+                                    rec.ticks += 1
+                                    end = vtime + (
+                                        probe - rec.l1_hit
+                                        if perturb is None
+                                        else perturb(
+                                            vindex, probe - rec.l1_hit
+                                        )
+                                    )
+                                    break
+                                if end < 0:
+                                    # Leaving the chain (success, abort,
+                                    # broadcast-stop): un-park and run
+                                    # this very event for real — it
+                                    # never re-enters the queue (the
+                                    # still-set ``_vtick_index`` keeps
+                                    # wake_parked from re-queueing the
+                                    # consumed head).
+                                    self.wake_parked(vindex)
+                                    self._vtick_index = None
+                                    event = (vtime, 0, vindex)
+                                    break
+                                self._vtick_index = None
+                                seq += 1
+                                g = self._wake_gen
+                                if g == wgen:
+                                    # No wake: the head is still parked
+                                    # and the real queue is untouched,
+                                    # so every cached local holds.
+                                    ventry[0] = end
+                                    ventry[1] = seq
+                                    heapreplace(vheap, ventry)
+                                else:
+                                    wgen = g
+                                    if vmap.get(vindex) is ventry:
+                                        ventry[0] = end
+                                        ventry[1] = seq
+                                        heapreplace(vheap, ventry)
+                                    else:
+                                        # The tick woke its own CPU;
+                                        # wake_parked already dropped
+                                        # the stale head, so queue the
+                                        # successor for real execution.
+                                        qpush((end, seq, vindex))
+                                        if not vheap:
+                                            break
+                                    # A tick can wake other parked
+                                    # CPUs, re-materializing their
+                                    # heads into the real queue —
+                                    # refresh the cached top and head
+                                    # count.
+                                    rtop = qpeek_item()
+                                    if rtop is not None:
+                                        rtop_t = rtop[0]
+                                        rtop_s = rtop[1]
+                                    else:
+                                        rtop_t = 0x7FFFFFFFFFFFFFFF
+                                        rtop_s = 0
+                                    n_heads = len(vheap)
+                            else:
+                                # Single-step spin advance, always legal:
+                                # this head is the global minimum, so
+                                # consuming it and re-inserting the
+                                # successor (fresh, larger seq) is the
+                                # exact next materialized action whatever
+                                # the other events hold. ~90% of advances
+                                # on a contended run interleave with
+                                # sibling chains, so the fast path skips
+                                # the next-other-event bound entirely.
+                                pos0 = rec.pos
+                                end = vtime + lats[pos0]
+                                rec.steps += 1
+                                rec.pos = rec.nxt[pos0]
+                                seq += 1
+                                ventry[0] = end
+                                ventry[1] = seq
+                                heapreplace(vheap, ventry)
+                                if vheap[0] is ventry:
+                                    # The successor still tops the heap:
+                                    # the chain runs ahead alone, which is
+                                    # exactly when closed-form batching
+                                    # pays. Advance as far as it stays
+                                    # strictly ahead of every other
+                                    # pending event (successor seqs are
+                                    # freshly assigned, hence larger — so
+                                    # ties go the other way and the
+                                    # comparison is strict) and within
+                                    # the cycle budget. The next other
+                                    # event is the smaller of the real
+                                    # queue's top and the best other head
+                                    # (one of the heap root's children).
+                                    bound = rtop_t
+                                    if n_heads > 1:
+                                        b = vheap[1][0]
+                                        if n_heads > 2:
+                                            b2 = vheap[2][0]
+                                            if b2 < b:
+                                                b = b2
+                                        if b < bound:
+                                            bound = b
+                                    if limit_p1 < bound:
+                                        bound = limit_p1
+                                    pos0 = rec.pos
+                                    D = bound - end
+                                    if D > lats[pos0]:
+                                        count = rec.count
+                                        # k = 1 (the head itself) plus
+                                        # the count of successor events
+                                        # landing strictly before the
+                                        # bound, summed per cyclic
+                                        # position: an event m = q*count
+                                        # + r steps ahead fires at end +
+                                        # q*period + c_r with c_r the
+                                        # cyclic prefix sum from pos0.
+                                        period = rec.period
+                                        q0 = (D + period - 1) // period - 1
+                                        n_ev = q0 if q0 > 0 else 0
+                                        c = 0
+                                        j = pos0
+                                        for _ in range(count - 1):
+                                            c += lats[j]
+                                            j += 1
+                                            if j == count:
+                                                j = 0
+                                            d = D - c
+                                            if d > 0:
+                                                n_ev += (
+                                                    (d + period - 1)
+                                                    // period
+                                                )
+                                        k = 1 + n_ev
+                                        rec.steps += k
+                                        whole, r = divmod(k, count)
+                                        cr = 0
+                                        j = pos0
+                                        for _ in range(r):
+                                            cr += lats[j]
+                                            j += 1
+                                            if j == count:
+                                                j = 0
+                                        ventry[0] = end + whole * period + cr
+                                        rec.pos = j
+                                        seq += k
+                                        ventry[1] = seq
+                                        ff_ev += k
+                                        heapreplace(vheap, ventry)
+                        self._seq = seq
+                        self.stats_virtual_events += seq - seq0
+                        self.stats_fast_forwarded_events += ff_ev
+                        continue
+                elif impl.n:
                     event = qpop()
                 elif deferred:
                     self._flush_deferred()
                     continue
                 else:
                     break
-            time, _, index = event
+            time, eseq, index = event
             event = None
             driver = drivers[index]
             if driver.done:
@@ -412,7 +973,14 @@ class Scheduler:
                 elide_steps = 0
                 # The queue cannot change while this driver steps (only
                 # the scheduler pushes), so its top is loop-invariant.
+                # Virtual heads count too: a step's wake can move one
+                # into the real queue, but at its stored (time, seq) —
+                # the minimum over the union never changes mid-loop.
                 top_time = qpeek()
+                if vheap:
+                    vt = vheap[0][0]
+                    if top_time is None or vt < top_time:
+                        top_time = vt
                 # Whether any cross-CPU machinery is engaged right now.
                 # None of these can become true *between* the entry check
                 # and a step (only a step sets solo_requested, and the
@@ -501,7 +1069,7 @@ class Scheduler:
                         if engine.solo_requested:
                             qpush(item)
                             solo_waiters.add(index)
-                        elif queue.n and not deferred and not solo_waiters:
+                        elif impl.n and not deferred and not solo_waiters:
                             # Nothing can run between this push and the
                             # next pop, so fuse them; the popped event
                             # still flows through the full solo/limit
@@ -544,16 +1112,37 @@ class Scheduler:
                     pos = rec.pos
                     end = time + rec.lats[pos]
                     rec.steps += 1
-                    if pos == rec.load_pos:
-                        rec.loads += 1
-                    pos += 1
-                    rec.pos = 0 if pos == rec.count else pos
+                    rec.pos = rec.nxt[pos]
                 if end > self._horizon:
                     self._horizon = end
                 self._seq += 1
                 qpush((end, self._seq, index))
                 if deferred and self._solo_index() is None:
                     self._flush_deferred()
+                continue
+            if virt:
+                # Re-virtualize: this parked CPU's pending event (back
+                # in the queue because a solo window materialized it, or
+                # the in-flight event of a fresh park) becomes its
+                # virtual head again, (time, seq) unchanged. A fresh
+                # park's in-flight event either still carries its popped
+                # sequence number (no elided steps) or was elided into a
+                # time strictly ahead of every pending event, where the
+                # stale number can never decide a tie.
+                # The record (and, for spinners, its latency cycle —
+                # None marks a retry waiter) rides in the entry so the
+                # drain skips a dict lookup and two attribute loads per
+                # event; (time, seq) is unique per entry, so heap
+                # comparisons never reach it.
+                ventry = [
+                    time,
+                    eseq,
+                    index,
+                    rec,
+                    None if rec.is_retry else rec.lats,
+                ]
+                vmap[index] = ventry
+                heappush(vheap, ventry)
                 continue
             # Fast drain: while the queue keeps handing back parked CPUs'
             # events, nothing real can run and none of the outer-loop
@@ -586,10 +1175,7 @@ class Scheduler:
             # where ``_finish_budget`` fixes ``now`` to the limit anyway.
             seq = self._seq
             fusions = 0
-            qn = queue.n
-            # Budget sentinel: comparisons against an int beat a
-            # None-check per event; 2**63 is beyond any simulated time.
-            limit_t = 0x7FFFFFFFFFFFFFFF if limit is None else limit
+            qn = impl.n
             if cal is not None:
                 buckets = cal.buckets
                 shift = cal.shift
@@ -738,10 +1324,7 @@ class Scheduler:
                     pos = rec.pos
                     end = time + rec.lats[pos]
                     rec.steps += 1
-                    if pos == rec.load_pos:
-                        rec.loads += 1
-                    pos += 1
-                    rec.pos = 0 if pos == rec.count else pos
+                    rec.pos = rec.nxt[pos]
                 seq += 1
                 item = (end, seq, index)
                 if not qn:
@@ -759,8 +1342,13 @@ class Scheduler:
                     event = None
                     break
                 fusions += 1
-                if cal is None:
+                if heap_list is not None:
                     event = heap_pushpop(heap_list, item)
+                elif cal is None:
+                    # Adaptive backend (virtseq runs that fell back to
+                    # materialized placeholders never reach this drain,
+                    # but keep the generic path correct regardless).
+                    event = qpushpop(item)
                 else:
                     b = buckets[cur]
                     if not (b and b[0][0] < cur_end):
@@ -943,6 +1531,22 @@ class Scheduler:
         rec = self._parked.pop(index, None)
         if rec is None:
             return
+        # Generation counter: the virtual drain caches the real-queue
+        # top and the head count in locals and refreshes them only when
+        # this has moved (wakes are ~50x rarer than ticks).
+        self._wake_gen += 1
+        ventry = self._vmap.pop(index, None)
+        if ventry is not None:
+            # Virtual head: re-materialize the pending event with the
+            # exact (time, seq) the materialized path would have had in
+            # the queue all along — unless the wake came from this CPU's
+            # own off-queue retry tick, whose successor the drain queues
+            # itself.
+            vheap = self._vheap
+            vheap.remove(ventry)
+            heapq.heapify(vheap)
+            if index != self._vtick_index:
+                self._queue.push((ventry[0], ventry[1], ventry[2]))
         self._n_active += 1
         if rec.is_retry:
             self._n_retry_parked -= 1
@@ -976,6 +1580,8 @@ class Scheduler:
                     self.stats_wakes += 1
             self._parked.clear()
             self._n_retry_parked = 0
+        self._vmap.clear()
+        self._vheap.clear()
         self.now = limit
         return self.now
 
@@ -984,20 +1590,13 @@ class Scheduler:
         for index in sorted(self._parked):
             engine = getattr(self.drivers[index], "engine", None)
             watches = engine.fabric.watches if engine is not None else None
-            if watches is not None and index in watches.by_cpu:
-                line, block = watches.by_cpu[index]
-                details.append(
-                    f"cpu {index} parked on block 0x{block:x} "
-                    f"(line 0x{line:x})"
-                )
-            elif watches is not None and index in watches.retry_by_cpu:
-                line, block = watches.retry_by_cpu[index]
-                details.append(
-                    f"cpu {index} retry-parked on block 0x{block:x} "
-                    f"(line 0x{line:x})"
-                )
-            else:
-                details.append(f"cpu {index} parked")
+            desc = (
+                watches.describe(index, off_queue=index in self._vmap)
+                if watches is not None
+                else None
+            )
+            details.append(desc if desc is not None else
+                           f"cpu {index} parked")
         raise MachineStateError(
             "all runnable CPUs finished but parked waiters remain — "
             "nothing can ever change the watched storage (deadlocked "

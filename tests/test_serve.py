@@ -247,6 +247,39 @@ class TestServiceDeterminism:
             assert canonical(client.run_payloads(tasks, metrics=True)) \
                 == expected
 
+    def test_metrics_merge_service_matches_serial(self, host):
+        # The ROADMAP sweep-fabric follow-on: metrics JSONL streamed
+        # through the service path must aggregate bit-identically to a
+        # serial sweep — same summaries, same submission order, same
+        # pure merge.
+        from repro.sim.metrics import merge_summaries
+
+        tasks = SWEEP[:3]
+        expected = merge_summaries(
+            r.metrics for r in run_tasks(tasks, metrics=True)
+        )
+        with SweepClient(host.address) as client:
+            remote = client.run_tasks(tasks, metrics=True)
+        merged = merge_summaries(r.metrics for r in remote)
+        assert json.dumps(merged, sort_keys=True) == json.dumps(
+            expected, sort_keys=True
+        )
+
+    def test_sched_counters_ride_the_wire(self, host):
+        # The event-composition split (events / virtual_events /
+        # fast_forwarded_events) must survive the payload round-trip so
+        # service sweeps expose the same self-observability as local
+        # runs.
+        tasks = SWEEP[:2]
+        serial = run_tasks(tasks)
+        with SweepClient(host.address) as client:
+            remote = client.run_tasks(tasks)
+        for local, wire in zip(serial, remote):
+            assert wire.sched == local.sched
+        assert remote[1].sched["events"] > 0
+        assert "virtual_events" in remote[1].sched
+        assert "fast_forwarded_events" in remote[1].sched
+
     def test_metrics_and_plain_are_distinct_keys(self, host):
         tasks = SWEEP[:1]
         with SweepClient(host.address) as client:
